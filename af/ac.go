@@ -1,0 +1,327 @@
+package af
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"audiofile/internal/proto"
+)
+
+// ACAttributes is the client-side audio context attribute record
+// (AFSetACAttributes). Which fields matter is selected by a mask.
+type ACAttributes struct {
+	PlayGain int  // dB, applied before mixing
+	RecGain  int  // dB, applied on the record path
+	Preempt  bool // play requests overwrite rather than mix
+	// BigEndian declares that this context's sample data is big-endian on
+	// the wire; the default is little-endian.
+	BigEndian bool
+	Type      Encoding // sample encoding
+	Channels  int      // samples per frame
+}
+
+// Attribute mask bits for CreateAC and ChangeACAttributes.
+const (
+	ACPlayGain   = proto.ACPlayGain
+	ACRecordGain = proto.ACRecordGain
+	ACPreemption = proto.ACPreemption
+	ACEncoding   = proto.ACEncoding
+	ACEndian     = proto.ACEndian
+	ACChannels   = proto.ACChannels
+)
+
+// AC is an audio context (§5.6): the binding of a device with play/record
+// parameters under which samples are played and recorded.
+type AC struct {
+	conn *Conn
+	id   uint32
+
+	// Device is the audio device this context plays and records on.
+	Device *Device
+
+	// Attributes mirrors the server-side context, maintained locally.
+	Attributes ACAttributes
+
+	freed bool
+}
+
+func wireAttrs(a ACAttributes) proto.ACAttributes {
+	endian := uint8(0)
+	if a.BigEndian {
+		endian = 1
+	}
+	preempt := uint8(0)
+	if a.Preempt {
+		preempt = 1
+	}
+	return proto.ACAttributes{
+		PlayGain: int16(a.PlayGain),
+		RecGain:  int16(a.RecGain),
+		Preempt:  preempt,
+		Endian:   endian,
+		Type:     uint8(a.Type),
+		Channels: uint8(a.Channels),
+	}
+}
+
+// CreateAC creates an audio context on a device (AFCreateAC). The masked
+// attribute fields override the device defaults. CreateAC is
+// asynchronous; errors surface via the error handler or the next
+// synchronous call.
+func (c *Conn) CreateAC(device int, mask uint32, attrs ACAttributes) (*AC, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if device < 0 || device >= len(c.devices) {
+		return nil, fmt.Errorf("af: no device %d", device)
+	}
+	dev := &c.devices[device]
+	ac := &AC{
+		conn:   c,
+		id:     c.nextACID,
+		Device: dev,
+		Attributes: ACAttributes{
+			Type:     dev.PlayBufType,
+			Channels: dev.PlayNchannels,
+		},
+	}
+	c.nextACID++
+	applyMask(&ac.Attributes, mask, attrs)
+	err := proto.AppendCreateAC(&c.w, proto.CreateACReq{
+		AC:     ac.id,
+		Device: uint32(device),
+		Mask:   mask,
+		Attrs:  wireAttrs(attrs),
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.sentSeq++
+	if err := c.finishReq(); err != nil {
+		return nil, err
+	}
+	return ac, nil
+}
+
+func applyMask(dst *ACAttributes, mask uint32, src ACAttributes) {
+	if mask&ACPlayGain != 0 {
+		dst.PlayGain = src.PlayGain
+	}
+	if mask&ACRecordGain != 0 {
+		dst.RecGain = src.RecGain
+	}
+	if mask&ACPreemption != 0 {
+		dst.Preempt = src.Preempt
+	}
+	if mask&ACEncoding != 0 {
+		dst.Type = src.Type
+	}
+	if mask&ACEndian != 0 {
+		dst.BigEndian = src.BigEndian
+	}
+	if mask&ACChannels != 0 {
+		dst.Channels = src.Channels
+	}
+}
+
+// ChangeAttributes modifies masked fields of the context
+// (AFChangeACAttributes).
+func (ac *AC) ChangeAttributes(mask uint32, attrs ACAttributes) error {
+	c := ac.conn
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	applyMask(&ac.Attributes, mask, attrs)
+	err := proto.AppendChangeAC(&c.w, proto.ChangeACReq{
+		AC:    ac.id,
+		Mask:  mask,
+		Attrs: wireAttrs(attrs),
+	})
+	if err != nil {
+		return err
+	}
+	c.sentSeq++
+	return c.finishReq()
+}
+
+// Free releases the context's server resources (AFFreeAC).
+func (ac *AC) Free() error {
+	c := ac.conn
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ac.freed {
+		return nil
+	}
+	ac.freed = true
+	if err := proto.AppendFreeAC(&c.w, ac.id); err != nil {
+		return err
+	}
+	c.sentSeq++
+	return c.finishReq()
+}
+
+// framesToBytes converts a frame count to wire bytes under this context.
+// ADPCM packs two samples per byte (mono only).
+func (ac *AC) framesToBytes(frames int) int {
+	if ac.Attributes.Type == ADPCM4 {
+		return frames / 2
+	}
+	return frames * ac.Attributes.Type.BytesPerUnit() * ac.Attributes.Channels
+}
+
+// bytesToFrames converts wire bytes to a frame count under this context.
+func (ac *AC) bytesToFrames(n int) int {
+	if ac.Attributes.Type == ADPCM4 {
+		return 2 * n
+	}
+	fb := ac.Attributes.Type.BytesPerUnit() * ac.Attributes.Channels
+	return n / fb
+}
+
+// frameBytes returns the wire size of one whole sample unit under this
+// context (one frame, or one packed ADPCM byte holding two frames).
+func (ac *AC) frameBytes() int {
+	if ac.Attributes.Type == ADPCM4 {
+		return 1
+	}
+	return ac.Attributes.Type.BytesPerUnit() * ac.Attributes.Channels
+}
+
+// sampleFlags returns the per-request endian flag for this context.
+func (ac *AC) sampleFlags() uint8 {
+	if ac.Attributes.BigEndian {
+		return proto.SampleFlagBigEndian
+	}
+	return 0
+}
+
+// PlaySamples plays a block of samples starting at the given device time
+// (AFPlaySamples). Data scheduled for the past is discarded by the
+// server; data in the near future is buffered; data beyond the server's
+// buffer blocks until it fits. Long blocks are sent in 8 KiB chunks with
+// the reply suppressed on all but the last, so the call costs one round
+// trip. It returns the current device time.
+func (ac *AC) PlaySamples(t ATime, data []byte) (ATime, error) {
+	c := ac.conn
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fb := ac.frameBytes()
+	chunk := proto.ChunkBytes / fb * fb
+	if chunk == 0 {
+		chunk = fb
+	}
+	for off := 0; ; {
+		n := len(data) - off
+		last := true
+		if n > chunk {
+			n, last = chunk, false
+		}
+		flags := ac.sampleFlags()
+		if !last {
+			flags |= proto.SampleFlagSuppressReply
+		}
+		err := proto.AppendPlaySamples(&c.w, proto.PlaySamplesReq{
+			AC:    ac.id,
+			Time:  uint32(t),
+			Flags: flags,
+			Data:  data[off : off+n],
+		})
+		if err != nil {
+			return 0, err
+		}
+		c.sentSeq++
+		if last {
+			rep, err := c.awaitReply(c.sentSeq)
+			if err != nil {
+				return 0, err
+			}
+			return ATime(rep.Time), nil
+		}
+		t = t.Add(ac.bytesToFrames(n))
+		off += n
+	}
+}
+
+// RecordSamples records len(buf) bytes of samples beginning at the given
+// device time (AFRecordSamples). With block true the call returns only
+// once all requested data has been captured; otherwise it returns
+// whatever is immediately available. It returns the current device time
+// and the number of bytes stored into buf.
+//
+// Long requests are chunked: each 8 KiB chunk completes synchronously
+// before the next is sent, as in the C library.
+func (ac *AC) RecordSamples(t ATime, buf []byte, block bool) (ATime, int, error) {
+	c := ac.conn
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	fb := ac.frameBytes()
+	chunk := proto.ChunkBytes / fb * fb
+	if chunk == 0 {
+		chunk = fb
+	}
+	flags := ac.sampleFlags()
+	if !block {
+		flags |= proto.SampleFlagNoBlock
+	}
+	total := 0
+	now := ATime(0)
+	for off := 0; off < len(buf); {
+		n := len(buf) - off
+		if n > chunk {
+			n = chunk
+		}
+		err := proto.AppendRecordSamples(&c.w, proto.RecordSamplesReq{
+			AC:     ac.id,
+			Time:   uint32(t),
+			NBytes: uint32(n),
+			Flags:  flags,
+		})
+		if err != nil {
+			return now, total, err
+		}
+		c.sentSeq++
+		rep, err := c.awaitReply(c.sentSeq)
+		if err != nil {
+			return now, total, err
+		}
+		got := copy(buf[off:off+n], rep.Extra[:min(int(rep.Aux), len(rep.Extra))])
+		now = ATime(rep.Time)
+		total += got
+		off += got
+		t = t.Add(ac.bytesToFrames(got))
+		if got < n {
+			break // non-blocking record ran out of captured data
+		}
+	}
+	return now, total, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// GetTime returns the current device time of the context's device
+// (AFGetTime).
+func (ac *AC) GetTime() (ATime, error) {
+	return ac.conn.GetTime(ac.Device.Index)
+}
+
+// GetTime returns the current device time of a device (AFGetTime).
+func (c *Conn) GetTime(device int) (ATime, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := proto.AppendDeviceReq(&c.w, proto.OpGetTime, uint32(device)); err != nil {
+		return 0, err
+	}
+	c.sentSeq++
+	rep, err := c.awaitReply(c.sentSeq)
+	if err != nil {
+		return 0, err
+	}
+	return ATime(rep.Time), nil
+}
+
+// binaryOrder exposes the connection's wire byte order (for clients that
+// pre-encode linear sample data themselves).
+func (c *Conn) binaryOrder() binary.ByteOrder { return c.order }

@@ -1,0 +1,48 @@
+package af
+
+// Clock correspondence. "One can establish a correspondence between two
+// clocks" (§2.1): given simultaneous observations (Ta, Tb) of two device
+// clocks and their nominal rates, times convert between the clock domains
+// well enough for scheduling — AudioFile supplies the low-level timing
+// information and leaves the conversion policy to clients.
+
+// Correspondence relates the device times of two audio devices (possibly
+// on different servers) using the paper's formula
+//
+//	t_b = T_b + R_b * ((t_a - T_a) / R_a)
+type Correspondence struct {
+	Ta, Tb ATime   // values of the two clocks observed "at the same time"
+	Ra, Rb float64 // rates of advance in ticks per second
+}
+
+// NewCorrespondence samples both devices' times back to back and pairs
+// them. The two GetTime round trips are not simultaneous, so the pairing
+// carries transport-latency error — fine for scheduling, per §2.1's
+// "approximate relationship which is good enough".
+func NewCorrespondence(a *AC, b *AC) (Correspondence, error) {
+	ta, err := a.GetTime()
+	if err != nil {
+		return Correspondence{}, err
+	}
+	tb, err := b.GetTime()
+	if err != nil {
+		return Correspondence{}, err
+	}
+	return Correspondence{
+		Ta: ta, Tb: tb,
+		Ra: float64(a.Device.PlaySampleFreq),
+		Rb: float64(b.Device.PlaySampleFreq),
+	}, nil
+}
+
+// AtoB converts a device-A time to the corresponding device-B time.
+func (c Correspondence) AtoB(ta ATime) ATime {
+	dt := float64(TimeSub(ta, c.Ta)) / c.Ra
+	return c.Tb.Add(int(dt * c.Rb))
+}
+
+// BtoA converts a device-B time to the corresponding device-A time.
+func (c Correspondence) BtoA(tb ATime) ATime {
+	dt := float64(TimeSub(tb, c.Tb)) / c.Rb
+	return c.Ta.Add(int(dt * c.Ra))
+}

@@ -1,0 +1,81 @@
+package af_test
+
+import (
+	"encoding/binary"
+	"net"
+	"testing"
+
+	"audiofile/af"
+	"audiofile/internal/proto"
+)
+
+// TestVersionMismatchRefused: a client announcing the wrong protocol
+// major is refused at setup with a reason.
+func TestVersionMismatchRefused(t *testing.T) {
+	r := newRig(t)
+	nc, err := net.Dial("unix", r.addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	setup := proto.SetupRequest{
+		ByteOrder: proto.LittleEndianOrder,
+		Major:     99, Minor: 0,
+	}
+	if err := setup.Send(nc); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := proto.ReadSetupReply(nc, binary.LittleEndian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Success {
+		t.Fatal("version 99 accepted")
+	}
+	if rep.Reason == "" {
+		t.Error("refusal carries no reason")
+	}
+	if rep.Major != proto.ProtocolMajor {
+		t.Errorf("refusal reports server version %d", rep.Major)
+	}
+}
+
+// TestCorrespondenceAcrossDevices: schedule by converting time between
+// the 8 kHz codec clock and the 44.1 kHz hifi clock.
+func TestCorrespondenceAcrossDevices(t *testing.T) {
+	r := newRig(t)
+	c := r.dial(t)
+	codec, err := c.CreateAC(1, 0, af.ACAttributes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hifi, err := c.CreateAC(2, 0, af.ACAttributes{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.step(800) // both clocks advance in their own units
+
+	corr, err := af.NewCorrespondence(codec, hifi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One second in codec ticks maps to one second in hifi ticks.
+	ta := corr.Ta.Add(8000)
+	tb := corr.AtoB(ta)
+	if d := af.TimeSub(tb, corr.Tb); d < 44090 || d > 44110 {
+		t.Errorf("1 s on codec maps to %d hifi ticks, want ~44100", d)
+	}
+	// Round trip returns within rounding error.
+	back := corr.BtoA(tb)
+	if d := af.TimeSub(back, ta); d < -2 || d > 2 {
+		t.Errorf("round trip error = %d ticks", d)
+	}
+	// The rig's clocks advance in lockstep (step() scales them), so a
+	// converted "now" lands near the other device's actual now.
+	nowA, _ := codec.GetTime()
+	nowB, _ := hifi.GetTime()
+	pred := corr.AtoB(nowA)
+	if d := af.TimeSub(pred, nowB); d < -4420 || d > 4420 { // within 100 ms
+		t.Errorf("converted now off by %d hifi ticks", d)
+	}
+}

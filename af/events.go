@@ -1,0 +1,159 @@
+package af
+
+import (
+	"audiofile/internal/proto"
+)
+
+// Event queue handling (§6.1.4): the library filters events out of the
+// server stream onto a private queue, interspersed with replies on the
+// same connection.
+
+// Queued modes for EventsQueued.
+const (
+	QueuedAlready      = 0 // only count events already read
+	QueuedAfterReading = 1 // also read anything available without blocking
+	QueuedAfterFlush   = 2 // flush the output buffer, then as AfterReading
+)
+
+// SelectEvents registers interest in event classes on a device
+// (AFSelectEvents). mask is a bitwise OR of the Mask* constants.
+func (c *Conn) SelectEvents(device int, mask uint32) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	err := proto.AppendSelectEvents(&c.w, proto.SelectEventsReq{
+		Device: uint32(device), Mask: mask,
+	})
+	if err != nil {
+		return err
+	}
+	c.sentSeq++
+	return c.finishReq()
+}
+
+// Pending returns the number of events received but not yet processed
+// (AFPending). It flushes the output buffer and reads anything available.
+func (c *Conn) Pending() (int, error) {
+	return c.EventsQueued(QueuedAfterFlush)
+}
+
+// EventsQueued checks the event queue per the given mode
+// (AFEventsQueued).
+func (c *Conn) EventsQueued(mode int) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if mode == QueuedAlready {
+		return len(c.events), nil
+	}
+	if mode == QueuedAfterFlush {
+		if err := c.flushLocked(); err != nil {
+			return len(c.events), err
+		}
+	}
+	for {
+		msg, ok, err := c.pollMessage()
+		if err != nil {
+			return len(c.events), err
+		}
+		if !ok {
+			return len(c.events), nil
+		}
+		c.dispatchAsync(msg)
+	}
+}
+
+// NextEvent returns the next event, flushing the output buffer and
+// blocking until one arrives (AFNextEvent).
+func (c *Conn) NextEvent() (*Event, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(c.events) == 0 {
+		if err := c.flushLocked(); err != nil {
+			return nil, err
+		}
+		msg, err := c.readMessage()
+		if err != nil {
+			return nil, err
+		}
+		c.dispatchAsync(msg)
+	}
+	ev := c.events[0]
+	c.events = c.events[1:]
+	return ev, nil
+}
+
+// IfEvent blocks until an event satisfying the predicate is found,
+// removes it from the queue, and returns it (AFIfEvent).
+func (c *Conn) IfEvent(pred func(*Event) bool) (*Event, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if ev := c.takeMatching(pred); ev != nil {
+			return ev, nil
+		}
+		if err := c.flushLocked(); err != nil {
+			return nil, err
+		}
+		msg, err := c.readMessage()
+		if err != nil {
+			return nil, err
+		}
+		c.dispatchAsync(msg)
+	}
+}
+
+// CheckIfEvent removes and returns a matching queued event without
+// blocking; it reads whatever is available first (AFCheckIfEvent).
+func (c *Conn) CheckIfEvent(pred func(*Event) bool) (*Event, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.flushLocked(); err != nil {
+		return nil, err
+	}
+	for {
+		if ev := c.takeMatching(pred); ev != nil {
+			return ev, nil
+		}
+		msg, ok, err := c.pollMessage()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, nil
+		}
+		c.dispatchAsync(msg)
+	}
+}
+
+// PeekIfEvent blocks until a matching event is queued and returns it
+// without removing it (AFPeekIfEvent).
+func (c *Conn) PeekIfEvent(pred func(*Event) bool) (*Event, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		for _, ev := range c.events {
+			if pred(ev) {
+				return ev, nil
+			}
+		}
+		if err := c.flushLocked(); err != nil {
+			return nil, err
+		}
+		msg, err := c.readMessage()
+		if err != nil {
+			return nil, err
+		}
+		c.dispatchAsync(msg)
+	}
+}
+
+// takeMatching removes and returns the first queued event satisfying
+// pred, or nil.
+func (c *Conn) takeMatching(pred func(*Event) bool) *Event {
+	for i, ev := range c.events {
+		if pred(ev) {
+			c.events = append(c.events[:i], c.events[i+1:]...)
+			return ev
+		}
+	}
+	return nil
+}

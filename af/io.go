@@ -1,0 +1,196 @@
+package af
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"time"
+
+	"audiofile/internal/proto"
+)
+
+// Low-level request and reply machinery. All functions here require
+// c.mu held.
+
+// errClosed reports use of a closed connection.
+var errClosed = errors.New("af: connection closed")
+
+// finishReq runs the post-request hooks: synchronous mode and the after
+// function.
+func (c *Conn) finishReq() error {
+	if c.afterFunc != nil {
+		c.afterFunc(c)
+	}
+	if c.synchronous {
+		return c.syncLocked()
+	}
+	return nil
+}
+
+// flushLocked writes the buffered requests to the server (AFFlush).
+func (c *Conn) flushLocked() error {
+	if c.ioErr != nil {
+		return c.ioErr
+	}
+	if c.closed {
+		return errClosed
+	}
+	if len(c.w.Buf) == 0 {
+		return nil
+	}
+	_, err := c.conn.Write(c.w.Buf)
+	c.w.Reset()
+	if err != nil {
+		return c.ioError(err)
+	}
+	return nil
+}
+
+// Flush sends all buffered requests to the server.
+func (c *Conn) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flushLocked()
+}
+
+// ioError records a fatal transport error and invokes the I/O error
+// handler.
+func (c *Conn) ioError(err error) error {
+	if c.ioErr == nil {
+		c.ioErr = fmt.Errorf("af: connection error: %w", err)
+		if c.ioErrHandler != nil {
+			c.ioErrHandler(c, c.ioErr)
+		} else {
+			fmt.Fprintf(os.Stderr, "%v\n", c.ioErr)
+		}
+	}
+	return c.ioErr
+}
+
+// readMessage reads the next server message, blocking.
+func (c *Conn) readMessage() (*proto.Message, error) {
+	if c.ioErr != nil {
+		return nil, c.ioErr
+	}
+	msg, err := proto.ReadMessage(c.br, c.order)
+	if err != nil {
+		return nil, c.ioError(err)
+	}
+	return msg, nil
+}
+
+// pollMessage reads one message if any data is ready, without blocking
+// for more than a millisecond for the first byte.
+func (c *Conn) pollMessage() (*proto.Message, bool, error) {
+	if c.ioErr != nil {
+		return nil, false, c.ioErr
+	}
+	c.conn.SetReadDeadline(time.Now().Add(time.Millisecond)) //nolint:errcheck
+	b, err := c.br.ReadByte()
+	c.conn.SetReadDeadline(time.Time{}) //nolint:errcheck
+	if err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return nil, false, nil
+		}
+		return nil, false, c.ioError(err)
+	}
+	msg, err := proto.ReadMessage(io.MultiReader(bytes.NewReader([]byte{b}), c.br), c.order)
+	if err != nil {
+		return nil, false, c.ioError(err)
+	}
+	return msg, true, nil
+}
+
+// dispatchAsync handles a message that is not the awaited reply: events
+// join the queue; errors go to the error handler.
+func (c *Conn) dispatchAsync(msg *proto.Message) {
+	switch {
+	case msg.Event != nil:
+		c.events = append(c.events, eventFromWire(msg.Event))
+	case msg.Error != nil:
+		pe := protoErrFromWire(msg.Error)
+		if c.errHandler != nil {
+			// The handler runs with the connection lock held; it must not
+			// call back into the Conn (as in Xlib).
+			c.errHandler(c, pe)
+		} else {
+			fmt.Fprintf(os.Stderr, "%v\n", pe)
+		}
+	case msg.Reply != nil:
+		// A reply nobody is waiting for indicates a library bug or a
+		// confused server; drop it loudly.
+		fmt.Fprintf(os.Stderr, "af: unexpected reply (seq %d)\n", msg.Reply.Seq)
+	}
+}
+
+func eventFromWire(ev *proto.Event) *Event {
+	return &Event{
+		Code:     ev.Code,
+		Detail:   ev.Detail,
+		Device:   int(ev.Device),
+		Time:     ATime(ev.Time),
+		HostSec:  ev.HostSec,
+		HostNsec: ev.HostNsec,
+		Value:    ev.Value,
+	}
+}
+
+func protoErrFromWire(e *proto.ErrorMsg) *ProtoError {
+	return &ProtoError{Code: e.Code, Seq: e.Seq, BadValue: e.BadValue, MajorOp: e.MajorOp}
+}
+
+// awaitReply flushes and reads until the reply (or error) for the request
+// with the given sequence number arrives.
+func (c *Conn) awaitReply(seq uint16) (*proto.Reply, error) {
+	if err := c.flushLocked(); err != nil {
+		return nil, err
+	}
+	for {
+		msg, err := c.readMessage()
+		if err != nil {
+			return nil, err
+		}
+		if msg.Reply != nil && msg.Reply.Seq == seq {
+			return msg.Reply, nil
+		}
+		if msg.Error != nil && msg.Error.Seq == seq {
+			return nil, protoErrFromWire(msg.Error)
+		}
+		c.dispatchAsync(msg)
+	}
+}
+
+// syncLocked performs a round-trip no-op (AFSync): it flushes the output
+// buffer and waits for the server to process everything sent so far,
+// surfacing any queued asynchronous errors along the way.
+func (c *Conn) syncLocked() error {
+	if err := proto.AppendEmptyReq(&c.w, proto.OpSyncConnection, 0); err != nil {
+		return err
+	}
+	c.sentSeq++
+	_, err := c.awaitReply(c.sentSeq)
+	return err
+}
+
+// Sync flushes the request queue and waits until the server has processed
+// every request (AFSync / AFSynchronize's underlying call).
+func (c *Conn) Sync() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.syncLocked()
+}
+
+// NoOp sends a non-blocking NoOperation request (AFNoOp).
+func (c *Conn) NoOp() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := proto.AppendEmptyReq(&c.w, proto.OpNoOperation, 0); err != nil {
+		return err
+	}
+	c.sentSeq++
+	return c.finishReq()
+}

@@ -1,0 +1,29 @@
+package afutil
+
+import "audiofile/internal/sampleconv"
+
+// ADPCMCoder compresses and expands the 4-bit ADPCM streams the server's
+// compressed conversion module speaks (the SAMPLE_ADPCM32 role of
+// Table 2: 4 bits per sample, two samples per byte, stateful in each
+// direction). A client playing or recording through an audio context with
+// Type ADPCM4 uses one coder per direction; the zero value is the initial
+// state the server's module starts from.
+type ADPCMCoder = sampleconv.ADPCMCoder
+
+// CompressADPCM compresses linear samples (an even count) with a fresh
+// coder, returning the packed bytes. For streaming, keep an ADPCMCoder
+// across blocks instead.
+func CompressADPCM(samples []int16) []byte {
+	var c ADPCMCoder
+	out := make([]byte, len(samples)/2)
+	c.Encode(out, samples)
+	return out
+}
+
+// ExpandADPCM expands packed ADPCM bytes with a fresh coder.
+func ExpandADPCM(data []byte) []int16 {
+	var c ADPCMCoder
+	out := make([]int16, 2*len(data))
+	c.Decode(out, data)
+	return out
+}

@@ -1,0 +1,149 @@
+package afutil
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func sine(freq float64, rate, n int, amp float64) []int16 {
+	out := make([]int16, n)
+	for i := range out {
+		out[i] = int16(amp * math.Sin(2*math.Pi*freq*float64(i)/float64(rate)))
+	}
+	return out
+}
+
+func TestResampleIdentity(t *testing.T) {
+	in := sine(440, 8000, 800, 8000)
+	out := Resample(in, 8000, 8000)
+	if len(out) != len(in) {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Fatal("identity resample changed data")
+		}
+	}
+	// And it is a copy, not an alias.
+	out[0] = 12345
+	if in[0] == 12345 {
+		t.Error("identity resample aliases input")
+	}
+}
+
+func TestResampleLength(t *testing.T) {
+	in := make([]int16, 8000)
+	if got := len(Resample(in, 8000, 44100)); got != 44100 {
+		t.Errorf("8k->44.1k length = %d", got)
+	}
+	if got := len(Resample(in, 8000, 4000)); got != 4000 {
+		t.Errorf("8k->4k length = %d", got)
+	}
+	if Resample(nil, 8000, 44100) != nil {
+		t.Error("empty input produced output")
+	}
+	if Resample(in, 0, 44100) != nil || Resample(in, 8000, 0) != nil {
+		t.Error("bad rates produced output")
+	}
+}
+
+func TestResamplePreservesFrequency(t *testing.T) {
+	// A 440 Hz tone at 8 kHz upsampled to 44.1 kHz still has ~440 Hz
+	// (measured by zero crossings per second).
+	in := sine(440, 8000, 8000, 8000)
+	out := Resample(in, 8000, 44100)
+	crossings := 0
+	for i := 1; i < len(out); i++ {
+		if (out[i-1] < 0) != (out[i] < 0) {
+			crossings++
+		}
+	}
+	freq := float64(crossings) / 2 / (float64(len(out)) / 44100)
+	if math.Abs(freq-440) > 5 {
+		t.Errorf("upsampled frequency = %.1f Hz, want ~440", freq)
+	}
+}
+
+func TestResamplePreservesAmplitude(t *testing.T) {
+	in := sine(300, 8000, 8000, 10000)
+	out := Resample(in, 8000, 44100)
+	var peak int16
+	for _, v := range out {
+		if v > peak {
+			peak = v
+		}
+	}
+	if peak < 9500 || peak > 10050 {
+		t.Errorf("peak after resample = %d, want ~10000", peak)
+	}
+}
+
+func TestResampleDownThenUpRoundTrip(t *testing.T) {
+	// Low-frequency content survives 8k -> 4k -> 8k within interpolation
+	// error.
+	in := sine(200, 8000, 4000, 8000)
+	down := Resample(in, 8000, 4000)
+	up := Resample(down, 4000, 8000)
+	worst := 0
+	for i := 100; i < len(up)-100 && i < len(in); i++ {
+		d := int(up[i]) - int(in[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst > 500 {
+		t.Errorf("round-trip worst error = %d", worst)
+	}
+}
+
+func TestQuickResampleBounded(t *testing.T) {
+	// Output never exceeds the input's range (linear interpolation is a
+	// convex combination).
+	f := func(raw []int16, r1, r2 uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		srcRate := int(r1%8000) + 100
+		dstRate := int(r2%48000) + 100
+		var lo, hi int16 = raw[0], raw[0]
+		for _, v := range raw {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		for _, v := range Resample(raw, srcRate, dstRate) {
+			if v < lo || v > hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResampleStereo(t *testing.T) {
+	frames := 800
+	in := make([]int16, 2*frames)
+	for i := 0; i < frames; i++ {
+		in[2*i] = int16(1000)
+		in[2*i+1] = int16(-2000)
+	}
+	out := ResampleStereo(in, 8000, 16000)
+	if len(out) != 2*2*frames {
+		t.Fatalf("stereo length = %d", len(out))
+	}
+	for i := 0; i < len(out)/2; i++ {
+		if out[2*i] != 1000 || out[2*i+1] != -2000 {
+			t.Fatalf("channel bleed at frame %d: (%d, %d)", i, out[2*i], out[2*i+1])
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package afutil
+
+import (
+	"fmt"
+
+	"audiofile/af"
+	"audiofile/internal/dsp"
+	"audiofile/internal/sampleconv"
+)
+
+// Tone generation by direct digital synthesis (§6.2.2): sample values are
+// produced by stepping through a wave table at a rate proportional to the
+// requested frequency. The requested frequency divided by the sample rate
+// gives a phase increment; the accumulated phase indexes the table.
+
+// SingleTone generates a floating point sine tone into buf with the given
+// peak value (AFSingleTone). It accepts an initial phase in [0, 1) and
+// returns the final phase, so successive calls produce a signal that is
+// continuous at block boundaries.
+func SingleTone(freq, peak float64, rate int, buf []float64, phase float64) float64 {
+	inc := freq / float64(rate)
+	for i := range buf {
+		idx := int(phase * SineSize)
+		buf[i] = peak * SineFloat[idx&(SineSize-1)]
+		phase += inc
+		if phase >= 1 {
+			phase -= 1
+		}
+	}
+	return phase
+}
+
+// TonePair generates a µ-law two-tone signal into buf (AFTonePair). The
+// two frequencies carry individual power levels in dB relative to the
+// digital milliwatt (which is 3.16 dB down from digital clipping).
+// gainRamp samples at each end ramp the envelope up and down, reducing
+// the frequency splatter of switching the signal on and off.
+func TonePair(f1, db1, f2, db2 float64, gainRamp int, rate int, buf []byte) {
+	a1 := dsp.AmplitudeForDBm(db1)
+	a2 := dsp.AmplitudeForDBm(db2)
+	inc1 := f1 / float64(rate)
+	inc2 := f2 / float64(rate)
+	var p1, p2 float64
+	n := len(buf)
+	for i := 0; i < n; i++ {
+		v := a1*SineFloat[int(p1*SineSize)&(SineSize-1)] +
+			a2*SineFloat[int(p2*SineSize)&(SineSize-1)]
+		env := 1.0
+		if gainRamp > 0 {
+			if i < gainRamp {
+				env = float64(i) / float64(gainRamp)
+			}
+			if n-1-i < gainRamp {
+				e := float64(n-1-i) / float64(gainRamp)
+				if e < env {
+					env = e
+				}
+			}
+		}
+		buf[i] = sampleconv.EncodeMuLaw(sampleconv.Clamp16(int(env * v)))
+		p1 += inc1
+		if p1 >= 1 {
+			p1 -= 1
+		}
+		p2 += inc2
+		if p2 >= 1 {
+			p2 -= 1
+		}
+	}
+}
+
+// ToneSpec is one entry of the telephony tone-pair table (Table 7):
+// frequencies in Hz, power levels in dB re the digital milliwatt, and
+// cadence in milliseconds. TimeOff 0 is a continuous tone.
+type ToneSpec struct {
+	Name    string
+	F1      float64
+	DB1     float64
+	F2      float64
+	DB2     float64
+	TimeOn  int // ms
+	TimeOff int // ms
+}
+
+// CallProgressTones are the call progress entries of Table 7.
+var CallProgressTones = map[string]ToneSpec{
+	"dialtone": {"dialtone", 350, -13, 440, -13, 1000, 0},
+	"ringback": {"ringback", 440, -19, 480, -19, 1000, 3000},
+	"busy":     {"busy", 480, -12, 620, -12, 500, 500},
+	"fastbusy": {"fastbusy", 480, -12, 620, -12, 250, 250},
+}
+
+// DTMFTone returns the Table 7 entry for a Touch-Tone digit (0-9, *, #,
+// A-D): row tone at -4 dB, column tone at -2 dB, 50 ms on, 50 ms off.
+func DTMFTone(digit byte) (ToneSpec, bool) {
+	lo, hi, ok := dsp.DTMFFreqs(digit)
+	if !ok {
+		return ToneSpec{}, false
+	}
+	return ToneSpec{Name: string(digit), F1: lo, DB1: -4, F2: hi, DB2: -2,
+		TimeOn: 50, TimeOff: 50}, true
+}
+
+// RenderTone renders one on/off cycle of a tone spec as µ-law samples at
+// the given rate. With TimeOff 0 it renders one second of continuous
+// tone.
+func RenderTone(spec ToneSpec, rate int) []byte {
+	on := spec.TimeOn * rate / 1000
+	off := spec.TimeOff * rate / 1000
+	buf := make([]byte, on+off)
+	ramp := rate / 200 // 5 ms ramps
+	if ramp*2 > on {
+		ramp = on / 4
+	}
+	TonePair(spec.F1, spec.DB1, spec.F2, spec.DB2, ramp, rate, buf[:on])
+	for i := on; i < len(buf); i++ {
+		buf[i] = 0xFF
+	}
+	return buf
+}
+
+// DialPhone generates the Touch-Tone dialing sequence for a number on a
+// telephone device's audio context (AFDialPhone). Digits 0-9, *, #, A-D
+// dial; a comma pauses one second; other characters (spaces, hyphens) are
+// ignored. Dialing is client-side: the tones are ordinary timed play
+// requests, which is how the system meets telephone signaling timing
+// without server support (§5.5). It returns the device time just after
+// the last tone.
+func DialPhone(ac *af.AC, number string) (af.ATime, error) {
+	dev := ac.Device
+	rate := dev.PlaySampleFreq
+	t, err := ac.GetTime()
+	if err != nil {
+		return 0, err
+	}
+	// Begin a little in the future so every burst is scheduled exactly.
+	t = t.Add(rate / 10)
+	for i := 0; i < len(number); i++ {
+		ch := number[i]
+		if ch == ',' {
+			t = t.Add(rate) // one-second pause
+			continue
+		}
+		spec, ok := DTMFTone(ch)
+		if !ok {
+			continue // punctuation in phone numbers is ignored
+		}
+		burst := RenderTone(spec, rate)
+		if _, err := ac.PlaySamples(t, burst); err != nil {
+			return 0, fmt.Errorf("afutil: dialing %q: %w", ch, err)
+		}
+		t = t.Add(len(burst))
+	}
+	return t, nil
+}

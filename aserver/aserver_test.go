@@ -1,0 +1,161 @@
+package aserver
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"audiofile/internal/proto"
+)
+
+func TestTaskQueueOrdering(t *testing.T) {
+	q := newTaskQueue()
+	var order []int
+	base := time.Now()
+	q.add(base.Add(30*time.Millisecond), func() { order = append(order, 3) })
+	q.add(base.Add(10*time.Millisecond), func() { order = append(order, 1) })
+	q.add(base.Add(20*time.Millisecond), func() { order = append(order, 2) })
+
+	when, ok := q.next()
+	if !ok || !when.Equal(base.Add(10*time.Millisecond)) {
+		t.Fatalf("next = %v, %v", when, ok)
+	}
+	if n := q.runDue(base.Add(25 * time.Millisecond)); n != 2 {
+		t.Fatalf("runDue ran %d tasks, want 2", n)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+	if n := q.runDue(base.Add(time.Second)); n != 1 {
+		t.Fatalf("second runDue ran %d", n)
+	}
+	if _, ok := q.next(); ok {
+		t.Error("queue not empty")
+	}
+}
+
+func TestTaskQueueReschedulesSelf(t *testing.T) {
+	q := newTaskQueue()
+	count := 0
+	base := time.Now()
+	var tick func()
+	tick = func() {
+		count++
+		if count < 3 {
+			q.add(base.Add(time.Duration(count)*time.Millisecond), tick)
+		}
+	}
+	q.add(base, tick)
+	q.runDue(base.Add(time.Second))
+	if count != 3 {
+		t.Errorf("self-rescheduling task ran %d times, want 3", count)
+	}
+}
+
+func TestAtomTable(t *testing.T) {
+	at := newAtomTable()
+	// Built-ins resolve both ways.
+	if at.intern("STRING", true) != proto.AtomSTRING {
+		t.Error("STRING not predefined")
+	}
+	if at.name(proto.AtomTELEPHONE) != "TELEPHONE" {
+		t.Error("TELEPHONE name wrong")
+	}
+	// New atoms allocate past the predefined range and are stable.
+	a := at.intern("FOO", false)
+	if a <= proto.AtomLastPredefined {
+		t.Errorf("new atom id %d overlaps predefined", a)
+	}
+	if at.intern("FOO", false) != a || at.intern("FOO", true) != a {
+		t.Error("re-intern changed id")
+	}
+	if at.name(a) != "FOO" {
+		t.Errorf("name(FOO) = %q", at.name(a))
+	}
+	// onlyIfExists misses return None.
+	if at.intern("MISSING", true) != proto.AtomNone {
+		t.Error("onlyIfExists allocated")
+	}
+	// Validity.
+	if at.valid(0) || at.valid(99999) {
+		t.Error("invalid ids reported valid")
+	}
+	if !at.valid(a) {
+		t.Error("real id reported invalid")
+	}
+	if at.name(99999) != "" {
+		t.Error("unknown id has a name")
+	}
+}
+
+func TestHostEntryFor(t *testing.T) {
+	tcp4 := &net.TCPAddr{IP: net.IPv4(10, 1, 2, 3), Port: 1234}
+	e := hostEntryFor(tcp4)
+	if e.Family != proto.FamilyInternet || len(e.Addr) != 4 {
+		t.Errorf("v4 entry = %+v", e)
+	}
+	tcp6 := &net.TCPAddr{IP: net.ParseIP("2001:db8::1"), Port: 1}
+	e = hostEntryFor(tcp6)
+	if e.Family != proto.FamilyInternet6 || len(e.Addr) != 16 {
+		t.Errorf("v6 entry = %+v", e)
+	}
+	unix := &net.UnixAddr{Name: "/tmp/x", Net: "unix"}
+	e = hostEntryFor(unix)
+	if e.Family != proto.FamilyLocal {
+		t.Errorf("unix entry = %+v", e)
+	}
+}
+
+func TestDeviceBuildErrors(t *testing.T) {
+	if _, err := New(Options{Devices: []DeviceSpec{{Kind: "theremin"}},
+		Logf: t.Logf}); err == nil {
+		t.Error("unknown device kind accepted")
+	}
+	if _, err := New(Options{Devices: []DeviceSpec{},
+		Logf: t.Logf}); err == nil {
+		t.Error("empty device list accepted")
+	}
+}
+
+func TestDefaultDeviceComplement(t *testing.T) {
+	srv, err := New(Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// phone0, codec0, hifi0, hifi0L, hifi0R — the Alofi arrangement.
+	if srv.NumDevices() != 5 {
+		t.Fatalf("NumDevices = %d, want 5", srv.NumDevices())
+	}
+	if srv.PhoneLine(0) == nil || srv.PhoneLine(1) != nil {
+		t.Error("phone line wiring wrong")
+	}
+	if srv.Hardware(3) != srv.Hardware(2) {
+		t.Error("mono view does not share the stereo hardware")
+	}
+	if srv.Device(2).Cfg.Channels != 2 || srv.Device(3).Cfg.Channels != 1 {
+		t.Error("channel counts wrong")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	srv, err := New(Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	srv.Close() // must not panic or hang
+}
+
+func TestDoAfterClose(t *testing.T) {
+	srv, err := New(Options{Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	ran := false
+	srv.Do(func() { ran = true }) // must return, not deadlock
+	if ran {
+		t.Error("Do ran after close")
+	}
+}

@@ -1,0 +1,265 @@
+package aserver
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"audiofile/internal/core"
+	"audiofile/internal/proto"
+	"audiofile/internal/sampleconv"
+)
+
+// request is one framed client request delivered to the server loop.
+type request struct {
+	c    *client
+	op   uint8
+	ext  uint8
+	body []byte
+}
+
+// ac is the server-side audio context (§5.6): the parameters a client
+// binds once instead of repeating on every play and record request.
+type ac struct {
+	id       uint32
+	dev      *core.Device
+	devIndex int
+	playGain int
+	recGain  int
+	preempt  bool
+	enc      sampleconv.Encoding
+	channels int
+	// Conversion-module state for compressed contexts (§5.4: conversion
+	// modules handle compressed audio data types). ADPCM is stateful, so
+	// each direction keeps a coder across requests of the stream.
+	playCoder *sampleconv.ADPCMCoder
+	recCoder  *sampleconv.ADPCMCoder
+	// recording marks contexts that have recorded at least once; the
+	// first record increments the device's RecRefCount so the periodic
+	// record update runs (§7.4.1).
+	recording bool
+}
+
+// parked captures a blocked request being resumed by the task mechanism:
+// a play whose tail lies beyond the buffer horizon, or a blocking record
+// whose data has not been captured yet.
+type parked struct {
+	req *request
+	// play state: remaining data in playEnc (compressed contexts park
+	// already-decompressed data)
+	playData []byte
+	playTime uint32
+	playEnc  sampleconv.Encoding
+	// record state is re-derived from the request on each retry
+}
+
+// client is one connection's server-side state.
+type client struct {
+	s     *Server
+	conn  net.Conn
+	order binary.ByteOrder
+	seq   uint16
+
+	outCh  chan []byte
+	closed chan struct{}
+
+	acs        map[uint32]*ac
+	eventMasks map[int]uint32
+
+	park    *parked
+	pending []*request
+
+	gone bool // loop-side flag after unregister
+}
+
+// outQueueDepth bounds the per-client outgoing message queue. A client
+// that stops reading while the server has this much buffered is
+// disconnected rather than allowed to wedge the single-threaded loop.
+const outQueueDepth = 1024
+
+// handleConn performs connection setup and runs the reader.
+func (s *Server) handleConn(conn net.Conn) {
+	defer func() {
+		// The writer goroutine owns closing the conn after draining.
+	}()
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	setup, order, err := proto.ReadSetupRequest(conn)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	conn.SetDeadline(time.Time{})
+
+	// Version negotiation: the major version must match; minor skew is
+	// tolerated (the X convention the protocol setup copies).
+	if setup.Major != proto.ProtocolMajor {
+		rep := proto.SetupReply{Success: false,
+			Reason: fmt.Sprintf("protocol version mismatch: server %d.%d, client %d.%d",
+				proto.ProtocolMajor, proto.ProtocolMinor, setup.Major, setup.Minor),
+			Major: proto.ProtocolMajor, Minor: proto.ProtocolMinor}
+		rep.Send(conn, order) //nolint:errcheck
+		conn.Close()
+		return
+	}
+
+	if !s.hostAllowed(conn) {
+		rep := proto.SetupReply{Success: false, Reason: "access denied",
+			Major: proto.ProtocolMajor, Minor: proto.ProtocolMinor}
+		rep.Send(conn, order) //nolint:errcheck
+		conn.Close()
+		return
+	}
+
+	rep := proto.SetupReply{
+		Success: true,
+		Major:   proto.ProtocolMajor, Minor: proto.ProtocolMinor,
+		Vendor:  s.opts.Vendor,
+		Devices: append([]proto.DeviceDesc(nil), s.descs...),
+	}
+	if err := rep.Send(conn, order); err != nil {
+		conn.Close()
+		return
+	}
+
+	c := &client{
+		s:          s,
+		conn:       conn,
+		order:      order,
+		outCh:      make(chan []byte, outQueueDepth),
+		closed:     make(chan struct{}),
+		acs:        make(map[uint32]*ac),
+		eventMasks: make(map[int]uint32),
+	}
+	select {
+	case s.regCh <- c:
+	case <-s.done:
+		conn.Close()
+		return
+	}
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		c.writer()
+	}()
+	c.reader()
+}
+
+// reader frames requests off the wire and feeds the loop.
+func (c *client) reader() {
+	br := bufio.NewReaderSize(c.conn, 64<<10)
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			break
+		}
+		op, ext := hdr[0], hdr[1]
+		n := int(c.order.Uint16(hdr[2:])) * 4
+		if n < 4 {
+			break
+		}
+		body := make([]byte, n-4)
+		if _, err := io.ReadFull(br, body); err != nil {
+			break
+		}
+		select {
+		case c.s.reqCh <- &request{c: c, op: op, ext: ext, body: body}:
+		case <-c.s.done:
+			return
+		case <-c.closed:
+			return
+		}
+	}
+	select {
+	case c.s.unregCh <- c:
+	case <-c.s.done:
+	case <-c.closed:
+	}
+}
+
+// writer drains the outgoing queue onto the wire until the loop closes
+// the client (c.closed).
+func (c *client) writer() {
+	bw := bufio.NewWriterSize(c.conn, 64<<10)
+	defer c.conn.Close()
+	for {
+		var msg []byte
+		select {
+		case msg = <-c.outCh:
+		case <-c.closed:
+			// Drain anything already queued, then flush and go.
+			for {
+				select {
+				case msg = <-c.outCh:
+					bw.Write(msg) //nolint:errcheck
+					continue
+				default:
+				}
+				break
+			}
+			bw.Flush() //nolint:errcheck
+			return
+		}
+		if _, err := bw.Write(msg); err != nil {
+			return
+		}
+		// Coalesce whatever else is queued before flushing.
+		for {
+			select {
+			case more := <-c.outCh:
+				if _, err := bw.Write(more); err != nil {
+					return
+				}
+				continue
+			default:
+			}
+			break
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// send queues a marshaled message; it reports false (and abandons the
+// client) if the queue is full.
+func (c *client) send(msg []byte) bool {
+	if c.gone {
+		return false
+	}
+	select {
+	case c.outCh <- msg:
+		return true
+	default:
+		c.s.logf("aserver: client %v output queue overflow, dropping connection", c.conn.RemoteAddr())
+		c.s.dropClient(c)
+		return false
+	}
+}
+
+// sendReply marshals and queues a reply.
+func (c *client) sendReply(p *proto.Reply) {
+	p.Seq = c.seq
+	w := proto.Writer{Order: c.order}
+	p.Encode(&w)
+	c.send(w.Buf)
+}
+
+// sendError marshals and queues a protocol error for the current request.
+func (c *client) sendError(code uint8, badValue uint32, op uint8) {
+	e := proto.ErrorMsg{Code: code, Seq: c.seq, BadValue: badValue, MajorOp: op}
+	w := proto.Writer{Order: c.order}
+	e.Encode(&w)
+	c.send(w.Buf)
+}
+
+// sendEvent marshals and queues an event.
+func (c *client) sendEvent(ev *proto.Event) {
+	ev.Seq = c.seq
+	w := proto.Writer{Order: c.order}
+	ev.Encode(&w)
+	c.send(w.Buf)
+}

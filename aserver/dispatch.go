@@ -1,0 +1,736 @@
+package aserver
+
+import (
+	"encoding/binary"
+	"time"
+
+	"audiofile/internal/atime"
+	"audiofile/internal/core"
+	"audiofile/internal/phonesim"
+	"audiofile/internal/proto"
+	"audiofile/internal/sampleconv"
+)
+
+// dispatch indexes the request type into the handler table, as the DIA
+// dispatcher does. It runs in the server loop.
+func (s *Server) dispatch(req *request) {
+	c := req.c
+	c.seq++
+	s.requestCount++
+	r := proto.NewReader(c.order, req.body)
+	switch req.op {
+	case proto.OpSelectEvents:
+		q := proto.DecodeSelectEvents(r)
+		if r.Err != nil {
+			c.sendError(proto.ErrLength, 0, req.op)
+			return
+		}
+		if !s.validDevice(q.Device) {
+			c.sendError(proto.ErrDevice, q.Device, req.op)
+			return
+		}
+		c.eventMasks[int(q.Device)] = q.Mask
+
+	case proto.OpCreateAC:
+		q := proto.DecodeCreateAC(r)
+		if r.Err != nil {
+			c.sendError(proto.ErrLength, 0, req.op)
+			return
+		}
+		s.handleCreateAC(c, req.op, q)
+
+	case proto.OpChangeACAttributes:
+		q := proto.DecodeChangeAC(r)
+		if r.Err != nil {
+			c.sendError(proto.ErrLength, 0, req.op)
+			return
+		}
+		a := c.acs[q.AC]
+		if a == nil {
+			c.sendError(proto.ErrAC, q.AC, req.op)
+			return
+		}
+		s.applyACAttrs(c, req.op, a, q.Mask, q.Attrs)
+
+	case proto.OpFreeAC:
+		id := r.U32()
+		a := c.acs[id]
+		if a == nil {
+			c.sendError(proto.ErrAC, id, req.op)
+			return
+		}
+		s.releaseAC(a)
+		delete(c.acs, id)
+
+	case proto.OpPlaySamples:
+		q := proto.DecodePlaySamples(r, req.ext)
+		if r.Err != nil {
+			c.sendError(proto.ErrLength, 0, req.op)
+			return
+		}
+		s.handlePlay(c, req, q)
+
+	case proto.OpRecordSamples:
+		q := proto.DecodeRecordSamples(r, req.ext)
+		if r.Err != nil {
+			c.sendError(proto.ErrLength, 0, req.op)
+			return
+		}
+		s.handleRecord(c, req, q)
+
+	case proto.OpGetTime:
+		dev := proto.DecodeDeviceReq(r)
+		if !s.validDevice(dev) {
+			c.sendError(proto.ErrDevice, dev, req.op)
+			return
+		}
+		c.sendReply(&proto.Reply{Time: uint32(s.devices[dev].Time())})
+
+	case proto.OpQueryPhone:
+		dev := proto.DecodeDeviceReq(r)
+		line := s.lineFor(dev)
+		if line == nil {
+			c.sendError(proto.ErrMatch, dev, req.op)
+			return
+		}
+		var hook, loop uint32
+		if line.OffHook() {
+			hook = 1
+		}
+		if line.LoopCurrent() {
+			loop = 1
+		}
+		c.sendReply(&proto.Reply{Data: uint8(hook), Aux: loop,
+			Time: uint32(s.devices[dev].Time())})
+
+	case proto.OpEnablePassThrough:
+		q := proto.DecodePassThrough(r)
+		s.handleEnablePassThrough(c, req.op, q)
+
+	case proto.OpDisablePassThrough:
+		dev := proto.DecodeDeviceReq(r)
+		if !s.validDevice(dev) {
+			c.sendError(proto.ErrDevice, dev, req.op)
+			return
+		}
+		for idx, p := range s.passThrough {
+			if p.a.Index == int(dev) || p.b.Index == int(dev) {
+				delete(s.passThrough, idx)
+			}
+		}
+
+	case proto.OpHookSwitch:
+		dev := proto.DecodeDeviceReq(r)
+		line := s.lineFor(dev)
+		if line == nil {
+			c.sendError(proto.ErrMatch, dev, req.op)
+			return
+		}
+		line.SetHook(req.ext == proto.HookOff)
+		s.updateDevice(s.rootOf(dev)) // deliver the hook event promptly
+
+	case proto.OpFlashHook:
+		q := proto.DecodeFlashHook(r)
+		line := s.lineFor(q.Device)
+		if line == nil {
+			c.sendError(proto.ErrMatch, q.Device, req.op)
+			return
+		}
+		if !line.OffHook() {
+			c.sendError(proto.ErrMatch, q.Device, req.op)
+			return
+		}
+		dur := time.Duration(q.DurationMs) * time.Millisecond
+		if dur == 0 {
+			dur = 500 * time.Millisecond
+		}
+		line.SetHook(false)
+		dev := q.Device
+		s.tasks.addAfter(dur, func() {
+			if l := s.lineFor(dev); l != nil {
+				l.SetHook(true)
+				s.updateDevice(s.rootOf(dev))
+			}
+		})
+		s.updateDevice(s.rootOf(dev))
+
+	case proto.OpEnableGainControl:
+		s.gainControl = true
+	case proto.OpDisableGainControl:
+		s.gainControl = false
+
+	case proto.OpDialPhone:
+		// Obsolete: FCC dialing timing cannot be met from the server's
+		// tasking system; clients dial by playing tone pairs themselves.
+		c.sendError(proto.ErrImplementation, 0, req.op)
+
+	case proto.OpSetInputGain:
+		q := proto.DecodeGainReq(r)
+		if !s.validDevice(q.Device) {
+			c.sendError(proto.ErrDevice, q.Device, req.op)
+			return
+		}
+		if q.Gain < minDeviceGain || q.Gain > maxDeviceGain {
+			c.sendError(proto.ErrValue, uint32(q.Gain), req.op)
+			return
+		}
+		s.devices[q.Device].SetInputGain(int(q.Gain))
+
+	case proto.OpSetOutputGain:
+		q := proto.DecodeGainReq(r)
+		if !s.validDevice(q.Device) {
+			c.sendError(proto.ErrDevice, q.Device, req.op)
+			return
+		}
+		if q.Gain < minDeviceGain || q.Gain > maxDeviceGain {
+			c.sendError(proto.ErrValue, uint32(q.Gain), req.op)
+			return
+		}
+		s.devices[q.Device].SetOutputGain(int(q.Gain))
+
+	case proto.OpQueryInputGain:
+		dev := proto.DecodeDeviceReq(r)
+		if !s.validDevice(dev) {
+			c.sendError(proto.ErrDevice, dev, req.op)
+			return
+		}
+		s.sendGainReply(c, s.devices[dev].InputGain())
+
+	case proto.OpQueryOutputGain:
+		dev := proto.DecodeDeviceReq(r)
+		if !s.validDevice(dev) {
+			c.sendError(proto.ErrDevice, dev, req.op)
+			return
+		}
+		s.sendGainReply(c, s.devices[dev].OutputGain())
+
+	case proto.OpEnableInput, proto.OpEnableOutput, proto.OpDisableInput, proto.OpDisableOutput:
+		q := proto.DecodeDeviceMaskReq(r)
+		if !s.validDevice(q.Device) {
+			c.sendError(proto.ErrDevice, q.Device, req.op)
+			return
+		}
+		d := s.devices[q.Device]
+		switch req.op {
+		case proto.OpEnableInput:
+			d.EnableInputs(q.Mask)
+		case proto.OpEnableOutput:
+			d.EnableOutputs(q.Mask)
+		case proto.OpDisableInput:
+			d.DisableInputs(q.Mask)
+		case proto.OpDisableOutput:
+			d.DisableOutputs(q.Mask)
+		}
+
+	case proto.OpSetAccessControl:
+		s.accessEnabled = req.ext != 0
+
+	case proto.OpChangeHosts:
+		q := proto.DecodeChangeHosts(r, req.ext)
+		if r.Err != nil {
+			c.sendError(proto.ErrLength, 0, req.op)
+			return
+		}
+		s.handleChangeHosts(q)
+
+	case proto.OpListHosts:
+		w := proto.Writer{Order: c.order}
+		proto.EncodeHostList(&w, s.accessList)
+		enabled := uint8(0)
+		if s.accessEnabled {
+			enabled = 1
+		}
+		c.sendReply(&proto.Reply{Data: enabled, Aux: uint32(len(s.accessList)), Extra: w.Buf})
+
+	case proto.OpInternAtom:
+		q := proto.DecodeInternAtom(r, req.ext)
+		if r.Err != nil {
+			c.sendError(proto.ErrLength, 0, req.op)
+			return
+		}
+		c.sendReply(&proto.Reply{Aux: s.atoms.intern(q.Name, q.OnlyIfExists)})
+
+	case proto.OpGetAtomName:
+		id := r.U32()
+		name := s.atoms.name(id)
+		if name == "" {
+			c.sendError(proto.ErrAtom, id, req.op)
+			return
+		}
+		w := proto.Writer{Order: c.order}
+		w.U16(uint16(len(name)))
+		w.Skip(2)
+		w.String4(name)
+		c.sendReply(&proto.Reply{Aux: uint32(len(name)), Extra: w.Buf})
+
+	case proto.OpChangeProperty:
+		q := proto.DecodeChangeProperty(r, req.ext)
+		if r.Err != nil {
+			c.sendError(proto.ErrLength, 0, req.op)
+			return
+		}
+		s.handleChangeProperty(c, req.op, q)
+
+	case proto.OpDeleteProperty:
+		q := proto.DecodeDeleteProperty(r)
+		if !s.validDevice(q.Device) {
+			c.sendError(proto.ErrDevice, q.Device, req.op)
+			return
+		}
+		if !s.atoms.valid(q.Property) {
+			c.sendError(proto.ErrAtom, q.Property, req.op)
+			return
+		}
+		if _, ok := s.props[q.Device][q.Property]; ok {
+			delete(s.props[q.Device], q.Property)
+			s.deliverEvent(int(q.Device), proto.EventPropertyChange, 1, q.Property)
+		}
+
+	case proto.OpGetProperty:
+		q := proto.DecodeGetProperty(r, req.ext)
+		s.handleGetProperty(c, req.op, q)
+
+	case proto.OpListProperties:
+		dev := proto.DecodeDeviceReq(r)
+		if !s.validDevice(dev) {
+			c.sendError(proto.ErrDevice, dev, req.op)
+			return
+		}
+		w := proto.Writer{Order: c.order}
+		n := 0
+		for atom := range s.props[dev] {
+			w.U32(atom)
+			n++
+		}
+		c.sendReply(&proto.Reply{Aux: uint32(n), Extra: w.Buf})
+
+	case proto.OpNoOperation:
+		// Non-blocking no-op: no reply.
+
+	case proto.OpSyncConnection:
+		// Round-trip no-op.
+		c.sendReply(&proto.Reply{})
+
+	case proto.OpQueryExtension:
+		_ = proto.DecodeQueryExtension(r)
+		c.sendReply(&proto.Reply{Data: 0}) // no extensions are implemented
+
+	case proto.OpListExtensions:
+		c.sendReply(&proto.Reply{Data: 0})
+
+	case proto.OpKillClient:
+		c.sendError(proto.ErrImplementation, 0, req.op)
+
+	default:
+		c.sendError(proto.ErrRequest, uint32(req.op), req.op)
+	}
+}
+
+// Device gain limits, matching the utility library's table range.
+const (
+	minDeviceGain = -30
+	maxDeviceGain = 30
+)
+
+func (s *Server) sendGainReply(c *client, cur int) {
+	w := proto.Writer{Order: c.order}
+	w.I32(minDeviceGain)
+	w.I32(maxDeviceGain)
+	c.sendReply(&proto.Reply{Aux: uint32(int32(cur)), Extra: w.Buf})
+}
+
+func (s *Server) validDevice(dev uint32) bool {
+	return int(dev) < len(s.devices)
+}
+
+func (s *Server) lineFor(dev uint32) *phonesim.Line {
+	if !s.validDevice(dev) {
+		return nil
+	}
+	return s.lines[int(dev)]
+}
+
+func (s *Server) rootOf(dev uint32) *core.Device {
+	d := s.devices[dev]
+	if d.IsView() {
+		return d.Parent()
+	}
+	return d
+}
+
+func (s *Server) handleCreateAC(c *client, op uint8, q proto.CreateACReq) {
+	if !s.validDevice(q.Device) {
+		c.sendError(proto.ErrDevice, q.Device, op)
+		return
+	}
+	if _, exists := c.acs[q.AC]; exists {
+		c.sendError(proto.ErrValue, q.AC, op)
+		return
+	}
+	d := s.devices[q.Device]
+	a := &ac{
+		id:       q.AC,
+		dev:      d,
+		devIndex: int(q.Device),
+		enc:      d.Cfg.Enc,
+		channels: d.Cfg.Channels,
+	}
+	if !s.applyACAttrs(c, op, a, q.Mask, q.Attrs) {
+		return
+	}
+	c.acs[q.AC] = a
+}
+
+// applyACAttrs validates and applies masked attributes; it reports
+// success (errors have been sent on failure).
+func (s *Server) applyACAttrs(c *client, op uint8, a *ac, mask uint32, attrs proto.ACAttributes) bool {
+	if mask&proto.ACEncoding != 0 {
+		e := sampleconv.Encoding(attrs.Type)
+		if !e.Valid() {
+			c.sendError(proto.ErrValue, uint32(attrs.Type), op)
+			return false
+		}
+		if e == sampleconv.ADPCM4 {
+			// The compressed conversion module handles mono streams.
+			if a.dev.Cfg.Channels != 1 {
+				c.sendError(proto.ErrMatch, uint32(attrs.Type), op)
+				return false
+			}
+			a.playCoder = &sampleconv.ADPCMCoder{}
+			a.recCoder = &sampleconv.ADPCMCoder{}
+		}
+		a.enc = e
+	}
+	if mask&proto.ACChannels != 0 {
+		if int(attrs.Channels) != a.dev.Cfg.Channels {
+			c.sendError(proto.ErrMatch, uint32(attrs.Channels), op)
+			return false
+		}
+		a.channels = int(attrs.Channels)
+	}
+	if mask&proto.ACPlayGain != 0 {
+		a.playGain = int(attrs.PlayGain)
+	}
+	if mask&proto.ACRecordGain != 0 {
+		a.recGain = int(attrs.RecGain)
+	}
+	if mask&proto.ACPreemption != 0 {
+		a.preempt = attrs.Preempt != 0
+	}
+	return true
+}
+
+// clientFrameBytes returns the size of one frame of this context's sample
+// data on the wire.
+func (a *ac) clientFrameBytes() int {
+	return a.enc.BytesPerSamples(1) * a.channels
+}
+
+func (s *Server) handlePlay(c *client, req *request, q proto.PlaySamplesReq) {
+	a := c.acs[q.AC]
+	if a == nil {
+		c.sendError(proto.ErrAC, q.AC, req.op)
+		return
+	}
+	data := q.Data
+	enc := a.enc
+	if q.Flags&proto.SampleFlagBigEndian != 0 {
+		sampleconv.SwapBytes(enc, data) // data aliases the request body, which we own
+	}
+	if enc == sampleconv.ADPCM4 {
+		// Conversion module: decompress the stream before the buffering
+		// engine sees it. State carries across requests.
+		lin := make([]int16, 2*len(data))
+		a.playCoder.Decode(lin, data)
+		raw := make([]byte, 2*len(lin))
+		sampleconv.FromLin16(raw, sampleconv.LIN16, lin, len(lin))
+		data, enc = raw, sampleconv.LIN16
+	}
+	res := a.dev.Play(atime.ATime(q.Time), data, enc, a.playGain, a.preempt)
+	if res.Blocked {
+		// The tail lies beyond the buffer horizon: block the connection
+		// until time advances (§6.1.5 "Beyond near future").
+		cfb := enc.BytesPerSamples(1) * a.channels
+		c.park = &parked{
+			req:      req,
+			playData: data[res.Consumed*cfb:],
+			playTime: uint32(atime.Add(atime.ATime(q.Time), res.Consumed)),
+			playEnc:  enc,
+		}
+		return
+	}
+	if q.Flags&proto.SampleFlagSuppressReply == 0 {
+		c.sendReply(&proto.Reply{Time: uint32(res.Now)})
+	}
+}
+
+func (s *Server) handleRecord(c *client, req *request, q proto.RecordSamplesReq) {
+	a := c.acs[q.AC]
+	if a == nil {
+		c.sendError(proto.ErrAC, q.AC, req.op)
+		return
+	}
+	if q.NBytes > proto.MaxRequestBytes {
+		c.sendError(proto.ErrValue, q.NBytes, req.op)
+		return
+	}
+	if !a.recording {
+		// First record under this context: mark it and enable the
+		// periodic record update.
+		a.recording = true
+		root := a.dev
+		if root.IsView() {
+			root = root.Parent()
+		}
+		root.RecRefCount++
+	}
+	if a.enc == sampleconv.ADPCM4 {
+		s.handleRecordADPCM(c, req, q, a)
+		return
+	}
+	cfb := a.clientFrameBytes()
+	want := int(q.NBytes) / cfb
+	dst := make([]byte, want*cfb)
+	res := a.dev.Record(atime.ATime(q.Time), dst, a.enc, a.recGain)
+	if res.Avail < want && q.Flags&proto.SampleFlagNoBlock == 0 {
+		// Blocking record: the connection waits until all requested data
+		// has been captured. Schedule a precise wake-up task for the
+		// moment the last sample will exist, rather than waiting for the
+		// next periodic update — real-time clients (apass) depend on the
+		// resume latency being small.
+		p := &parked{req: req}
+		c.park = p
+		end := atime.Add(atime.ATime(q.Time), want)
+		deficit := int(atime.Sub(end, res.Now))
+		if deficit > 0 {
+			wake := time.Duration(deficit)*time.Second/time.Duration(a.dev.Cfg.Rate) + time.Millisecond
+			s.tasks.addAfter(wake, func() {
+				if c.park == p && !c.gone {
+					s.retryParked(c)
+				}
+			})
+		}
+		return
+	}
+	s.sendRecordReply(c, a, q, dst[:res.Avail*cfb], res.Now)
+}
+
+func (s *Server) sendRecordReply(c *client, a *ac, q proto.RecordSamplesReq, data []byte, now atime.ATime) {
+	if q.Flags&proto.SampleFlagBigEndian != 0 {
+		sampleconv.SwapBytes(a.enc, data)
+	}
+	c.sendReply(&proto.Reply{Time: uint32(now), Aux: uint32(len(data)), Extra: data})
+}
+
+// handleRecordADPCM is the compressed record path: capture linear
+// samples, then run them through the context's ADPCM coder. A request for
+// NBytes of ADPCM covers 2*NBytes sample frames.
+func (s *Server) handleRecordADPCM(c *client, req *request, q proto.RecordSamplesReq, a *ac) {
+	wantBytes := int(q.NBytes)
+	wantFrames := 2 * wantBytes
+	lin := make([]byte, 2*wantFrames) // lin16 staging
+	res := a.dev.Record(atime.ATime(q.Time), lin, sampleconv.LIN16, a.recGain)
+	if res.Avail < wantFrames && q.Flags&proto.SampleFlagNoBlock == 0 {
+		p := &parked{req: req}
+		c.park = p
+		end := atime.Add(atime.ATime(q.Time), wantFrames)
+		if deficit := int(atime.Sub(end, res.Now)); deficit > 0 {
+			wake := time.Duration(deficit)*time.Second/time.Duration(a.dev.Cfg.Rate) + time.Millisecond
+			s.tasks.addAfter(wake, func() {
+				if c.park == p && !c.gone {
+					s.retryParked(c)
+				}
+			})
+		}
+		return
+	}
+	frames := res.Avail &^ 1 // whole ADPCM bytes only
+	samples := make([]int16, frames)
+	sampleconv.ToLin16(samples, lin, sampleconv.LIN16, frames)
+	out := make([]byte, frames/2)
+	a.recCoder.Encode(out, samples)
+	c.sendReply(&proto.Reply{Time: uint32(res.Now), Aux: uint32(len(out)), Extra: out})
+}
+
+// acIDOf extracts the AC id from a parked play/record request body.
+func acIDOf(req *request, order binary.ByteOrder) uint32 {
+	if len(req.body) < 4 {
+		return 0
+	}
+	return order.Uint32(req.body)
+}
+
+// retryParked re-attempts a blocked request after time has advanced.
+func (s *Server) retryParked(c *client) {
+	p := c.park
+	req := p.req
+	a := c.acs[acIDOf(req, c.order)]
+	if a == nil {
+		c.park = nil
+		s.drainPending(c)
+		return
+	}
+	switch req.op {
+	case proto.OpPlaySamples:
+		res := a.dev.Play(atime.ATime(p.playTime), p.playData, p.playEnc, a.playGain, a.preempt)
+		if res.Blocked {
+			cfb := p.playEnc.BytesPerSamples(1) * a.channels
+			p.playData = p.playData[res.Consumed*cfb:]
+			p.playTime = uint32(atime.Add(atime.ATime(p.playTime), res.Consumed))
+			return
+		}
+		c.park = nil
+		if req.ext&proto.SampleFlagSuppressReply == 0 {
+			c.sendReply(&proto.Reply{Time: uint32(res.Now)})
+		}
+	case proto.OpRecordSamples:
+		r := proto.NewReader(c.order, req.body)
+		q := proto.DecodeRecordSamples(r, req.ext)
+		if a.enc == sampleconv.ADPCM4 {
+			lin := make([]byte, 4*int(q.NBytes))
+			res := a.dev.Record(atime.ATime(q.Time), lin, sampleconv.LIN16, a.recGain)
+			if res.Avail < 2*int(q.NBytes) {
+				return // still short; stay parked (a wake task is pending)
+			}
+			c.park = nil
+			frames := res.Avail &^ 1
+			samples := make([]int16, frames)
+			sampleconv.ToLin16(samples, lin, sampleconv.LIN16, frames)
+			out := make([]byte, frames/2)
+			a.recCoder.Encode(out, samples)
+			c.sendReply(&proto.Reply{Time: uint32(res.Now), Aux: uint32(len(out)), Extra: out})
+			break
+		}
+		cfb := a.clientFrameBytes()
+		want := int(q.NBytes) / cfb
+		dst := make([]byte, want*cfb)
+		res := a.dev.Record(atime.ATime(q.Time), dst, a.enc, a.recGain)
+		if res.Avail < want {
+			// Still short (e.g. the clock runs slightly slow relative to
+			// the wall-clock estimate): try again shortly.
+			p := c.park
+			missing := want - res.Avail
+			wake := time.Duration(missing)*time.Second/time.Duration(a.dev.Cfg.Rate) + time.Millisecond
+			s.tasks.addAfter(wake, func() {
+				if c.park == p && !c.gone {
+					s.retryParked(c)
+				}
+			})
+			return
+		}
+		c.park = nil
+		s.sendRecordReply(c, a, q, dst, res.Now)
+	default:
+		c.park = nil
+	}
+	if c.park == nil {
+		s.drainPending(c)
+	}
+}
+
+func (s *Server) handleEnablePassThrough(c *client, op uint8, q proto.PassThroughReq) {
+	if !s.validDevice(q.Device) || !s.validDevice(q.Other) {
+		c.sendError(proto.ErrDevice, q.Device, op)
+		return
+	}
+	a, b := s.devices[q.Device], s.devices[q.Other]
+	if a == b || a.Cfg.Rate != b.Cfg.Rate || a.Cfg.Enc != b.Cfg.Enc ||
+		a.Cfg.Channels != b.Cfg.Channels || a.IsView() || b.IsView() {
+		c.sendError(proto.ErrMatch, q.Other, op)
+		return
+	}
+	s.passThrough[a.Index] = newPatch(a, b)
+}
+
+func (s *Server) handleChangeHosts(q proto.ChangeHostsReq) {
+	switch q.Mode {
+	case proto.HostInsert:
+		for _, h := range s.accessList {
+			if h.Family == q.Host.Family && string(h.Addr) == string(q.Host.Addr) {
+				return
+			}
+		}
+		s.accessList = append(s.accessList, q.Host)
+	case proto.HostDelete:
+		out := s.accessList[:0]
+		for _, h := range s.accessList {
+			if h.Family == q.Host.Family && string(h.Addr) == string(q.Host.Addr) {
+				continue
+			}
+			out = append(out, h)
+		}
+		s.accessList = out
+	}
+}
+
+func (s *Server) handleChangeProperty(c *client, op uint8, q proto.ChangePropertyReq) {
+	if !s.validDevice(q.Device) {
+		c.sendError(proto.ErrDevice, q.Device, op)
+		return
+	}
+	if !s.atoms.valid(q.Property) || !s.atoms.valid(q.Type) {
+		c.sendError(proto.ErrAtom, q.Property, op)
+		return
+	}
+	if q.Format != 8 && q.Format != 16 && q.Format != 32 {
+		c.sendError(proto.ErrValue, uint32(q.Format), op)
+		return
+	}
+	props := s.props[q.Device]
+	old := props[q.Property]
+	data := append([]byte(nil), q.Data...)
+	switch q.Mode {
+	case proto.PropModeReplace:
+		props[q.Property] = &property{typ: q.Type, format: q.Format, data: data}
+	case proto.PropModePrepend, proto.PropModeAppend:
+		if old != nil && (old.typ != q.Type || old.format != q.Format) {
+			c.sendError(proto.ErrMatch, q.Property, op)
+			return
+		}
+		if old == nil {
+			props[q.Property] = &property{typ: q.Type, format: q.Format, data: data}
+		} else if q.Mode == proto.PropModePrepend {
+			old.data = append(data, old.data...)
+		} else {
+			old.data = append(old.data, data...)
+		}
+	default:
+		c.sendError(proto.ErrValue, uint32(q.Mode), op)
+		return
+	}
+	s.deliverEvent(int(q.Device), proto.EventPropertyChange, 0, q.Property)
+}
+
+func (s *Server) handleGetProperty(c *client, op uint8, q proto.GetPropertyReq) {
+	if !s.validDevice(q.Device) {
+		c.sendError(proto.ErrDevice, q.Device, op)
+		return
+	}
+	if !s.atoms.valid(q.Property) {
+		c.sendError(proto.ErrAtom, q.Property, op)
+		return
+	}
+	p := s.props[q.Device][q.Property]
+	w := proto.Writer{Order: c.order}
+	if p == nil {
+		w.U32(proto.AtomNone)
+		w.U32(0)
+		c.sendReply(&proto.Reply{Data: 0, Extra: w.Buf})
+		return
+	}
+	if q.Type != proto.AtomNone && q.Type != p.typ {
+		// Type mismatch: report the actual type, deliver no data.
+		w.U32(p.typ)
+		w.U32(0)
+		c.sendReply(&proto.Reply{Data: p.format, Extra: w.Buf})
+		return
+	}
+	w.U32(p.typ)
+	w.U32(uint32(len(p.data)))
+	w.Bytes(p.data)
+	c.sendReply(&proto.Reply{Data: p.format, Aux: uint32(len(p.data)), Extra: w.Buf})
+	if q.Delete {
+		delete(s.props[q.Device], q.Property)
+		s.deliverEvent(int(q.Device), proto.EventPropertyChange, 1, q.Property)
+	}
+}

@@ -1,0 +1,307 @@
+package aserver
+
+import (
+	"net"
+	"time"
+
+	"audiofile/internal/atime"
+	"audiofile/internal/core"
+	"audiofile/internal/phonesim"
+	"audiofile/internal/proto"
+)
+
+// loop is the server's single thread of control: the analogue of the
+// WaitForSomething()/Dispatch() cycle. It owns all device, client, atom,
+// and property state.
+func (s *Server) loop() {
+	defer close(s.stopped)
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	arm := func() {
+		if when, ok := s.tasks.next(); ok {
+			d := time.Until(when)
+			if d < 0 {
+				d = 0
+			}
+			timer.Reset(d)
+		} else {
+			timer.Reset(time.Hour)
+		}
+	}
+	arm()
+	for {
+		select {
+		case c := <-s.regCh:
+			s.clients[c] = struct{}{}
+		case c := <-s.unregCh:
+			s.removeClient(c)
+		case req := <-s.reqCh:
+			if req.c.gone {
+				break
+			}
+			if req.c.park != nil {
+				// The connection is blocked mid-request; preserve FIFO
+				// semantics by queueing what follows.
+				req.c.pending = append(req.c.pending, req)
+				break
+			}
+			s.dispatch(req)
+		case fn := <-s.funcCh:
+			fn()
+			arm()
+		case <-timer.C:
+			s.tasks.runDue(time.Now())
+			arm()
+		case <-s.done:
+			for c := range s.clients {
+				s.dropClient(c)
+			}
+			return
+		}
+		// Re-arm after any work that may have scheduled tasks.
+		if len(s.reqCh) == 0 {
+			arm()
+		}
+	}
+}
+
+// dropClient severs a client immediately (queue overflow, shutdown).
+func (s *Server) dropClient(c *client) {
+	if c.gone {
+		return
+	}
+	c.conn.Close()
+	s.removeClient(c)
+}
+
+// removeClient releases a client's loop-side resources.
+func (s *Server) removeClient(c *client) {
+	if c.gone {
+		return
+	}
+	c.gone = true
+	delete(s.clients, c)
+	for _, a := range c.acs {
+		s.releaseAC(a)
+	}
+	c.acs = nil
+	c.park = nil
+	c.pending = nil
+	// Wake the writer so it drains and closes the conn, and unblock the
+	// reader.
+	close(c.closed)
+}
+
+// releaseAC undoes an audio context's device-side bookkeeping.
+func (s *Server) releaseAC(a *ac) {
+	if a.recording {
+		root := a.dev
+		if root.IsView() {
+			root = root.Parent()
+		}
+		root.RecRefCount--
+		a.recording = false
+	}
+}
+
+// updateDevice runs one periodic update for a root device: buffer
+// maintenance, telephone events, pass-through patching, and resumption of
+// blocked requests.
+func (s *Server) updateDevice(d *core.Device) {
+	d.Update()
+	if line := s.lines[d.Index]; line != nil {
+		s.pumpLineEvents(d, line)
+	}
+	if p := s.passThrough[d.Index]; p != nil {
+		s.pumpPatch(p)
+	}
+	s.resumeParked(d)
+}
+
+// pumpLineEvents forwards pending telephone line events to interested
+// clients.
+func (s *Server) pumpLineEvents(d *core.Device, line *phonesim.Line) {
+	for _, lev := range line.DrainEvents() {
+		var code uint8
+		switch lev.Kind {
+		case phonesim.EvRing:
+			code = proto.EventPhoneRing
+		case phonesim.EvDTMF:
+			code = proto.EventPhoneDTMF
+		case phonesim.EvLoop:
+			code = proto.EventPhoneLoop
+		case phonesim.EvHook:
+			code = proto.EventPhoneHookSwitch
+		}
+		s.deliverEvent(d.Index, code, lev.Detail, 0)
+	}
+}
+
+// deliverEvent sends an event to every client that selected its class on
+// the device. Per §5.2, events carry both the device time and the server
+// host's clock time.
+func (s *Server) deliverEvent(devIndex int, code uint8, detail byte, value uint32) {
+	mask := proto.EventMaskFor(code)
+	now := s.devices[devIndex].Now()
+	host := time.Now()
+	for c := range s.clients {
+		if c.eventMasks[devIndex]&mask == 0 {
+			continue
+		}
+		ev := proto.Event{
+			Code:     code,
+			Detail:   detail,
+			Device:   uint32(devIndex),
+			Time:     uint32(now),
+			HostSec:  uint32(host.Unix()),
+			HostNsec: uint32(host.Nanosecond()),
+			Value:    value,
+		}
+		c.sendEvent(&ev)
+	}
+}
+
+// resumeParked retries blocked requests touching device d.
+func (s *Server) resumeParked(d *core.Device) {
+	root := d
+	if root.IsView() {
+		root = root.Parent()
+	}
+	for c := range s.clients {
+		if c.park == nil {
+			continue
+		}
+		a := c.acs[acIDOf(c.park.req, c.order)]
+		if a == nil {
+			// AC vanished mid-block; drop the request.
+			c.park = nil
+			s.drainPending(c)
+			continue
+		}
+		pr := a.dev
+		if pr.IsView() {
+			pr = pr.Parent()
+		}
+		if pr != root {
+			continue
+		}
+		s.retryParked(c)
+	}
+}
+
+// drainPending dispatches requests queued behind a block, stopping if one
+// of them blocks in turn.
+func (s *Server) drainPending(c *client) {
+	for len(c.pending) > 0 && c.park == nil && !c.gone {
+		req := c.pending[0]
+		c.pending = c.pending[1:]
+		s.dispatch(req)
+	}
+}
+
+// patch is an enabled pass-through connection between two devices
+// (§7.4.1): audio recorded on one is played on the other, both ways,
+// entirely inside the server.
+type patch struct {
+	a, b   *core.Device
+	aTaken atime.ATime // recorded frames of a consumed through here
+	bTaken atime.ATime
+	aOut   atime.ATime // next play time on a (for b's audio)
+	bOut   atime.ATime // next play time on b (for a's audio)
+	buf    []byte
+}
+
+// newPatch wires devices a and b together starting at their current times.
+func newPatch(a, b *core.Device) *patch {
+	lead := a.Backend().HWFrames() / 2
+	return &patch{
+		a: a, b: b,
+		aTaken: a.Time(), bTaken: b.Time(),
+		aOut: atime.Add(a.Now(), lead),
+		bOut: atime.Add(b.Now(), lead),
+		buf:  make([]byte, 4096*a.FrameBytes()),
+	}
+}
+
+// pumpPatch moves newly recorded audio across the patch in both
+// directions.
+func (s *Server) pumpPatch(p *patch) {
+	s.pumpPatchDir(p.a, p.b, &p.aTaken, &p.bOut)
+	s.pumpPatchDir(p.b, p.a, &p.bTaken, &p.aOut)
+}
+
+func (s *Server) pumpPatchDir(src, dst *core.Device, taken *atime.ATime, out *atime.ATime) {
+	now := src.Now()
+	n := int(atime.Sub(now, *taken))
+	if n <= 0 {
+		return
+	}
+	max := len(s.passScratch(src)) / src.FrameBytes()
+	for n > 0 {
+		c := n
+		if c > max {
+			c = max
+		}
+		buf := s.passScratch(src)[:c*src.FrameBytes()]
+		src.Record(*taken, buf, src.Cfg.Enc, 0)
+		// Keep the output cursor inside dst's near future; resynchronize
+		// after stalls or clock drift.
+		lead := dst.Backend().HWFrames()
+		dnow := dst.Now()
+		if atime.Before(*out, dnow) || atime.After(*out, atime.Add(dnow, 2*lead)) {
+			*out = atime.Add(dnow, lead/2)
+		}
+		dst.Play(*out, buf, src.Cfg.Enc, 0, false)
+		*out = atime.Add(*out, c)
+		*taken = atime.Add(*taken, c)
+		n -= c
+	}
+}
+
+// passScratch returns a staging buffer for pass-through copies.
+func (s *Server) passScratch(d *core.Device) []byte {
+	if p := s.passThrough[d.Index]; p != nil {
+		return p.buf
+	}
+	// The reverse direction uses the patch registered on the peer.
+	for _, p := range s.passThrough {
+		if p.a == d || p.b == d {
+			return p.buf
+		}
+	}
+	return make([]byte, 4096*d.FrameBytes())
+}
+
+// hostAllowed applies host-based access control to a new connection.
+func (s *Server) hostAllowed(conn net.Conn) bool {
+	allowed := true
+	s.Do(func() {
+		if !s.accessEnabled {
+			return
+		}
+		entry := hostEntryFor(conn.RemoteAddr())
+		if entry.Family == proto.FamilyLocal {
+			return // local connections are always allowed
+		}
+		for _, h := range s.accessList {
+			if h.Family == entry.Family && string(h.Addr) == string(entry.Addr) {
+				return
+			}
+		}
+		allowed = false
+	})
+	return allowed
+}
+
+// hostEntryFor classifies a remote address for the access list.
+func hostEntryFor(addr net.Addr) proto.HostEntry {
+	switch a := addr.(type) {
+	case *net.TCPAddr:
+		if v4 := a.IP.To4(); v4 != nil {
+			return proto.HostEntry{Family: proto.FamilyInternet, Addr: v4}
+		}
+		return proto.HostEntry{Family: proto.FamilyInternet6, Addr: a.IP}
+	default:
+		return proto.HostEntry{Family: proto.FamilyLocal, Addr: []byte("local")}
+	}
+}

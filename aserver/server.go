@@ -1,0 +1,467 @@
+// Package aserver implements the AudioFile server: the device-independent
+// audio (DIA) main loop, the request dispatcher, the task mechanism, host
+// access control, atoms and properties, and the built-in device-dependent
+// (DDA) backends over simulated hardware.
+//
+// Like the paper's server, the DIA is single threaded: one goroutine owns
+// every device, client, and table. Per-connection goroutines do only
+// transport work — framing requests into the loop and draining the outgoing
+// message queue — the Go analogue of the select()-driven file descriptors
+// in the C implementation. Fairness comes from round-robin servicing of
+// the request channel, with large transfers already broken into 8 KiB
+// chunks by the client library.
+//
+// A Server is embeddable: tests, benchmarks, and the example programs run
+// one in-process and connect over Unix or TCP sockets (or a pipe).
+package aserver
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"audiofile/internal/core"
+	"audiofile/internal/lineserver"
+	"audiofile/internal/phonesim"
+	"audiofile/internal/proto"
+	"audiofile/internal/sampleconv"
+	"audiofile/internal/vdev"
+)
+
+// DeviceSpec describes one audio device to build at server startup.
+type DeviceSpec struct {
+	// Kind selects the device template: "codec" (8 kHz µ-law mono),
+	// "phone" (codec wired to a simulated telephone line), or "hifi"
+	// (stereo lin16, which also creates left and right mono sub-devices).
+	Kind string
+	// Name overrides the default device name.
+	Name string
+	// Rate overrides the sampling frequency (hifi only; codecs are 8 kHz).
+	Rate int
+	// HWFrames overrides the simulated hardware ring depth.
+	HWFrames int
+	// BufSeconds overrides the ~4 s server buffer depth.
+	BufSeconds float64
+	// Clock overrides the device sample clock (tests use ManualClock).
+	Clock vdev.Clock
+	// PPM skews the default real-time clock, modeling crystal tolerance.
+	PPM float64
+	// Loopback wires the device's output to its input through a simulated
+	// patch cable with LoopbackDelay frames of delay.
+	Loopback      bool
+	LoopbackDelay int
+	// Sink and Source override the hardware's analog side (ignored for
+	// "phone", whose line is both). A nil Sink discards; a nil Source
+	// records silence.
+	Sink   vdev.PlaySink
+	Source vdev.RecordSource
+	// Addr is the UDP address of a LineServer box (kind "lineserver").
+	Addr string
+	// LSNoExtrapolate disables wall-clock time extrapolation in the
+	// LineServer backend (deterministic manual-clock tests).
+	LSNoExtrapolate bool
+}
+
+// Options configures a Server.
+type Options struct {
+	// Vendor is the server identification string in the setup reply.
+	Vendor string
+	// Devices lists the devices to create; nil builds DefaultDevices().
+	Devices []DeviceSpec
+	// AccessControl enables host-based access control at startup.
+	AccessControl bool
+	// Logf receives server diagnostics; nil uses the standard logger.
+	Logf func(format string, args ...any)
+}
+
+// DefaultDevices returns the paper's Alofi-like device complement: a
+// telephone CODEC (device 0), a local CODEC (device 1), and a stereo HiFi
+// device (2) with mono left (3) and right (4) views.
+func DefaultDevices() []DeviceSpec {
+	return []DeviceSpec{
+		{Kind: "phone", Name: "phone0"},
+		{Kind: "codec", Name: "codec0"},
+		{Kind: "hifi", Name: "hifi0", Rate: 44100},
+	}
+}
+
+// Server is an AudioFile server instance.
+type Server struct {
+	opts Options
+	logf func(string, ...any)
+
+	devices []*core.Device // by device index
+	hw      map[*core.Device]*vdev.Device
+	lines   map[int]*phonesim.Line // device index -> phone line
+	descs   []proto.DeviceDesc
+
+	atoms *atomTable
+	props []map[uint32]*property // by device index
+
+	clients map[*client]struct{}
+
+	accessEnabled bool
+	accessList    []proto.HostEntry
+
+	passThrough map[int]*patch // src device index -> patch
+
+	gainControl bool // EnableGainControl/DisableGainControl state
+
+	reqCh   chan *request
+	regCh   chan *client
+	unregCh chan *client
+	funcCh  chan func()
+	done    chan struct{}
+	stopped chan struct{}
+
+	tasks *taskQueue
+
+	mu        sync.Mutex
+	listeners []net.Listener
+	closers   []func()
+	closed    bool
+	wg        sync.WaitGroup
+
+	// Stats observed by afperf.
+	requestCount uint64
+}
+
+// New builds the devices and starts the server loop.
+func New(opts Options) (*Server, error) {
+	if opts.Vendor == "" {
+		opts.Vendor = "audiofile-go"
+	}
+	if opts.Devices == nil {
+		opts.Devices = DefaultDevices()
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	s := &Server{
+		opts:          opts,
+		logf:          logf,
+		hw:            make(map[*core.Device]*vdev.Device),
+		lines:         make(map[int]*phonesim.Line),
+		atoms:         newAtomTable(),
+		clients:       make(map[*client]struct{}),
+		accessEnabled: opts.AccessControl,
+		passThrough:   make(map[int]*patch),
+		reqCh:         make(chan *request, 64),
+		regCh:         make(chan *client),
+		unregCh:       make(chan *client, 8),
+		funcCh:        make(chan func()),
+		done:          make(chan struct{}),
+		stopped:       make(chan struct{}),
+		tasks:         newTaskQueue(),
+	}
+	// The access list starts with the server's own host, as xhost does, so
+	// enabling access control does not lock out local TCP clients.
+	s.accessList = []proto.HostEntry{
+		{Family: proto.FamilyInternet, Addr: net.IPv4(127, 0, 0, 1).To4()},
+		{Family: proto.FamilyInternet6, Addr: net.IPv6loopback},
+	}
+	if err := s.buildDevices(); err != nil {
+		return nil, err
+	}
+	for range s.devices {
+		s.props = append(s.props, make(map[uint32]*property))
+	}
+	s.scheduleUpdates()
+	go s.loop()
+	return s, nil
+}
+
+// buildDevices constructs the DDA: virtual hardware plus core devices.
+func (s *Server) buildDevices() error {
+	for _, spec := range s.opts.Devices {
+		switch spec.Kind {
+		case "codec", "phone":
+			rate := spec.Rate
+			if rate == 0 {
+				rate = 8000
+			}
+			hwf := spec.HWFrames
+			if hwf == 0 {
+				hwf = 1024 // the LoFi DSP CODEC ring: ~125 ms at 8 kHz
+			}
+			clock := spec.Clock
+			if clock == nil {
+				clock = vdev.NewRealClock(rate, spec.PPM)
+			}
+			sink, source := spec.Sink, spec.Source
+			var line *phonesim.Line
+			phoneMask := uint32(0)
+			if spec.Kind == "phone" {
+				line = phonesim.NewLine(rate)
+				sink, source = line, line
+				phoneMask = 1
+			} else if spec.Loopback {
+				lb := vdev.NewLoopback(4*hwf, 1, spec.LoopbackDelay, 0xFF)
+				sink, source = lb, lb
+			}
+			hw := vdev.New(vdev.Config{
+				Name: spec.Name, Rate: rate, Enc: sampleconv.MU255, Channels: 1,
+				HWFrames: hwf, Clock: clock, Sink: sink, Source: source,
+			})
+			devType := uint8(proto.DevCodec)
+			if line != nil {
+				devType = proto.DevPhone
+			}
+			dev := core.NewDevice(core.Config{
+				Name: spec.Name, Type: devType, Rate: rate,
+				Enc: sampleconv.MU255, Channels: 1, BufSeconds: spec.BufSeconds,
+				InputsFromPhone: phoneMask, OutputsToPhone: phoneMask,
+			}, hw)
+			idx := len(s.devices)
+			dev.Index = idx
+			s.devices = append(s.devices, dev)
+			s.hw[dev] = hw
+			if line != nil {
+				s.lines[idx] = line
+			}
+		case "hifi":
+			rate := spec.Rate
+			if rate == 0 {
+				rate = 44100
+			}
+			hwf := spec.HWFrames
+			if hwf == 0 {
+				hwf = 4096 // the LoFi DSP HiFi ring: ~85 ms at 48 kHz
+			}
+			clock := spec.Clock
+			if clock == nil {
+				clock = vdev.NewRealClock(rate, spec.PPM)
+			}
+			sink, source := spec.Sink, spec.Source
+			if spec.Loopback {
+				lb := vdev.NewLoopback(4*hwf, 4, spec.LoopbackDelay, 0)
+				sink, source = lb, lb
+			}
+			hw := vdev.New(vdev.Config{
+				Name: spec.Name, Rate: rate, Enc: sampleconv.LIN16, Channels: 2,
+				HWFrames: hwf, Clock: clock, Sink: sink, Source: source,
+			})
+			stereo := core.NewDevice(core.Config{
+				Name: spec.Name, Type: proto.DevHiFi, Rate: rate,
+				Enc: sampleconv.LIN16, Channels: 2, BufSeconds: spec.BufSeconds,
+				NumInputs: 2, NumOutputs: 2,
+			}, hw)
+			idx := len(s.devices)
+			stereo.Index = idx
+			s.devices = append(s.devices, stereo)
+			s.hw[stereo] = hw
+			left := core.NewChannelView(spec.Name+"L", proto.DevMono, stereo, 0, 1)
+			left.Index = idx + 1
+			right := core.NewChannelView(spec.Name+"R", proto.DevMono, stereo, 1, 1)
+			right.Index = idx + 2
+			s.devices = append(s.devices, left, right)
+		case "lineserver":
+			// The Als design (§7.4.3): the server runs here, the audio
+			// hardware is a LineServer box across UDP.
+			rate := spec.Rate
+			if rate == 0 {
+				rate = 8000
+			}
+			var opts []lineserver.BackendOption
+			if spec.LSNoExtrapolate {
+				opts = append(opts, lineserver.WithoutExtrapolation())
+			}
+			backend, err := lineserver.Dial(spec.Addr, rate, opts...)
+			if err != nil {
+				return fmt.Errorf("aserver: lineserver %s: %w", spec.Addr, err)
+			}
+			name := spec.Name
+			if name == "" {
+				name = "als0"
+			}
+			dev := core.NewDevice(core.Config{
+				Name: name, Type: proto.DevCodec, Rate: rate,
+				Enc: sampleconv.MU255, Channels: 1, BufSeconds: spec.BufSeconds,
+			}, backend)
+			dev.Index = len(s.devices)
+			s.devices = append(s.devices, dev)
+			s.closers = append(s.closers, backend.Close)
+		default:
+			return fmt.Errorf("aserver: unknown device kind %q", spec.Kind)
+		}
+	}
+	if len(s.devices) == 0 {
+		return errors.New("aserver: no devices configured")
+	}
+	for _, d := range s.devices {
+		s.descs = append(s.descs, deviceDesc(d))
+	}
+	return nil
+}
+
+// deviceDesc builds the setup-reply description for a device.
+func deviceDesc(d *core.Device) proto.DeviceDesc {
+	return proto.DeviceDesc{
+		Index:           uint8(d.Index),
+		Type:            d.Cfg.Type,
+		Name:            d.Cfg.Name,
+		PlaySampleFreq:  uint32(d.Cfg.Rate),
+		PlayBufType:     uint8(d.Cfg.Enc),
+		PlayNchannels:   uint8(d.Cfg.Channels),
+		PlayNSamplesBuf: uint32(d.BufFrames()),
+		RecSampleFreq:   uint32(d.Cfg.Rate),
+		RecBufType:      uint8(d.Cfg.Enc),
+		RecNchannels:    uint8(d.Cfg.Channels),
+		RecNSamplesBuf:  uint32(d.BufFrames()),
+		NumberOfInputs:  uint8(d.Cfg.NumInputs),
+		NumberOfOutputs: uint8(d.Cfg.NumOutputs),
+		InputsFromPhone: d.Cfg.InputsFromPhone,
+		OutputsToPhone:  d.Cfg.OutputsToPhone,
+	}
+}
+
+// scheduleUpdates arms the periodic update task for each root device
+// (§7.2): every MSUpdate milliseconds, or half the hardware buffer
+// duration if that is shorter.
+func (s *Server) scheduleUpdates() {
+	seen := make(map[*core.Device]bool)
+	for _, d := range s.devices {
+		root := d
+		if d.IsView() {
+			root = d.Parent()
+		}
+		if seen[root] {
+			continue
+		}
+		seen[root] = true
+		hwDur := time.Duration(root.Backend().HWFrames()) * time.Second / time.Duration(root.Cfg.Rate)
+		interval := core.MSUpdate * time.Millisecond
+		if hwDur/2 < interval {
+			interval = hwDur / 2
+		}
+		dev := root
+		var tick func()
+		tick = func() {
+			s.updateDevice(dev)
+			s.tasks.add(time.Now().Add(interval), tick)
+		}
+		s.tasks.add(time.Now().Add(interval), tick)
+	}
+}
+
+// Device returns the core device at index i (for embedding harnesses).
+func (s *Server) Device(i int) *core.Device { return s.devices[i] }
+
+// NumDevices returns the number of abstract devices.
+func (s *Server) NumDevices() int { return len(s.devices) }
+
+// PhoneLine returns the simulated telephone line behind device i, or nil.
+func (s *Server) PhoneLine(i int) *phonesim.Line { return s.lines[i] }
+
+// Hardware returns the virtual hardware behind device i (views return
+// their parent's), or nil for non-vdev backends.
+func (s *Server) Hardware(i int) *vdev.Device {
+	d := s.devices[i]
+	if d.IsView() {
+		d = d.Parent()
+	}
+	return s.hw[d]
+}
+
+// Do runs fn inside the server loop and waits for it, giving tests and
+// embedded harnesses race-free access to loop-owned state.
+func (s *Server) Do(fn func()) {
+	doneCh := make(chan struct{})
+	select {
+	case s.funcCh <- func() { fn(); close(doneCh) }:
+		<-doneCh
+	case <-s.stopped:
+	}
+}
+
+// Sync forces one update cycle on every device, synchronously. Tests with
+// manual clocks call this instead of waiting for the periodic task.
+func (s *Server) Sync() {
+	s.Do(func() {
+		seen := make(map[*core.Device]bool)
+		for _, d := range s.devices {
+			root := d
+			if d.IsView() {
+				root = d.Parent()
+			}
+			if !seen[root] {
+				seen[root] = true
+				s.updateDevice(root)
+			}
+		}
+	})
+}
+
+// Serve accepts connections on l until the listener or server closes.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("aserver: server closed")
+	}
+	s.listeners = append(s.listeners, l)
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return nil
+			default:
+				return err
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// Listen starts serving on the given network address in the background.
+func (s *Server) Listen(network, addr string) (net.Listener, error) {
+	l, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	go s.Serve(l) //nolint:errcheck — ends when the listener closes
+	return l, nil
+}
+
+// DialPipe returns an in-process client connection to the server.
+func (s *Server) DialPipe() net.Conn {
+	cc, sc := net.Pipe()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.handleConn(sc)
+	}()
+	return cc
+}
+
+// Close shuts the server down: listeners close, clients disconnect, the
+// loop exits.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ls := s.listeners
+	s.mu.Unlock()
+	for _, l := range ls {
+		l.Close()
+	}
+	close(s.done)
+	<-s.stopped
+	s.wg.Wait()
+	for _, fn := range s.closers {
+		fn()
+	}
+}

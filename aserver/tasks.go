@@ -1,0 +1,67 @@
+package aserver
+
+import (
+	"container/heap"
+	"time"
+)
+
+// The task mechanism (§7.3.1): procedures scheduled for execution at
+// future times, outside the main flow of control. The server's update
+// mechanism and the dispatcher's resumption of partially completed
+// (blocked) client requests both ride on it. Tasks run only inside the
+// server loop.
+
+type task struct {
+	when time.Time
+	fn   func()
+}
+
+type taskHeap []task
+
+func (h taskHeap) Len() int           { return len(h) }
+func (h taskHeap) Less(i, j int) bool { return h[i].when.Before(h[j].when) }
+func (h taskHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *taskHeap) Push(x any)        { *h = append(*h, x.(task)) }
+func (h *taskHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	*h = old[:n-1]
+	return t
+}
+
+type taskQueue struct {
+	h taskHeap
+}
+
+func newTaskQueue() *taskQueue { return &taskQueue{} }
+
+// add schedules fn to run at (or soon after) when.
+func (q *taskQueue) add(when time.Time, fn func()) {
+	heap.Push(&q.h, task{when: when, fn: fn})
+}
+
+// addAfter schedules fn after a delay, the AddTask(proc, task, ms) idiom.
+func (q *taskQueue) addAfter(d time.Duration, fn func()) {
+	q.add(time.Now().Add(d), fn)
+}
+
+// next returns the earliest deadline, or false if the queue is empty.
+func (q *taskQueue) next() (time.Time, bool) {
+	if len(q.h) == 0 {
+		return time.Time{}, false
+	}
+	return q.h[0].when, true
+}
+
+// runDue executes every task due at now and returns how many ran. Tasks
+// may reschedule themselves (the periodic update tasks do).
+func (q *taskQueue) runDue(now time.Time) int {
+	n := 0
+	for len(q.h) > 0 && !q.h[0].when.After(now) {
+		t := heap.Pop(&q.h).(task)
+		t.fn()
+		n++
+	}
+	return n
+}

@@ -1,0 +1,48 @@
+package main
+
+import "testing"
+
+func TestParseDevices(t *testing.T) {
+	specs, err := parseDevices("phone,codec:loopback,codec,hifi:48000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 4 {
+		t.Fatalf("got %d specs", len(specs))
+	}
+	if specs[0].Kind != "phone" {
+		t.Errorf("spec 0 = %+v", specs[0])
+	}
+	if specs[1].Kind != "codec" || !specs[1].Loopback || specs[1].Name != "codec0" {
+		t.Errorf("spec 1 = %+v", specs[1])
+	}
+	if specs[2].Kind != "codec" || specs[2].Loopback || specs[2].Name != "codec1" {
+		t.Errorf("spec 2 = %+v", specs[2])
+	}
+	if specs[3].Kind != "hifi" || specs[3].Rate != 48000 {
+		t.Errorf("spec 3 = %+v", specs[3])
+	}
+}
+
+func TestParseDevicesErrors(t *testing.T) {
+	for _, bad := range []string{"theremin", "hifi:fast", "lineserver"} {
+		if _, err := parseDevices(bad); err == nil {
+			t.Errorf("parseDevices(%q) accepted", bad)
+		}
+	}
+	// Empty entries are skipped, not errors.
+	specs, err := parseDevices("codec,,")
+	if err != nil || len(specs) != 1 {
+		t.Errorf("trailing commas: %v, %d specs", err, len(specs))
+	}
+}
+
+func TestParseDevicesLineServer(t *testing.T) {
+	specs, err := parseDevices("lineserver:127.0.0.1:9999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 1 || specs[0].Kind != "lineserver" || specs[0].Addr != "127.0.0.1:9999" {
+		t.Errorf("specs = %+v", specs)
+	}
+}

@@ -1,0 +1,175 @@
+// radio is the network audio broadcast client pair of §9.6: radio_mcast
+// transmits audio using multicast (or unicast/broadcast) UDP, and many
+// receivers run radio_recv to listen in — the original relayed radio
+// broadcasts into parts of the building with poor reception.
+//
+//	radio -send [-a server | -stdin] [-addr 239.9.9.9:5004] [-rate 8000]
+//	radio -recv [-a server] [-addr 239.9.9.9:5004] [-delay 0.3]
+//
+// Audio travels as µ-law datagrams with a sequence number and sender
+// sample index. The receiver schedules each datagram at receiver device
+// time using the sender's sample indices relative to the first packet
+// heard, plus a fixed anti-jitter delay — explicit client control of time
+// makes lost or reordered datagrams a non-event: their interval simply
+// plays as whatever else arrived, or silence.
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+
+	"audiofile/af"
+	"audiofile/internal/cmdutil"
+)
+
+const hdrBytes = 12 // magic u32, seq u32, sampleIndex u32
+
+const magic = 0x41465230 // "AFR0"
+
+func main() {
+	send := flag.Bool("send", false, "transmit audio")
+	recv := flag.Bool("recv", false, "receive and play audio")
+	server := flag.String("a", "", "AudioFile server")
+	device := flag.Int("d", -1, "audio device")
+	addr := flag.String("addr", "239.9.9.9:5004", "group or host:port to use")
+	useStdin := flag.Bool("stdin", false, "send: read µ-law audio from stdin instead of recording")
+	rate := flag.Int("rate", 8000, "sample rate for -stdin sends")
+	delay := flag.Float64("delay", 0.3, "recv: anti-jitter playout delay in seconds")
+	blocks := flag.Int("n", -1, "number of blocks to send/receive before exiting")
+	flag.Parse()
+
+	switch {
+	case *send == *recv:
+		cmdutil.Die("radio: exactly one of -send or -recv required")
+	case *send:
+		doSend(*server, *device, *addr, *useStdin, *rate, *blocks)
+	case *recv:
+		doRecv(*server, *device, *addr, *delay, *blocks)
+	}
+}
+
+func doSend(server string, device int, addr string, useStdin bool, rate, blocks int) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		cmdutil.Die("radio: %v", err)
+	}
+	conn, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		cmdutil.Die("radio: %v", err)
+	}
+	defer conn.Close()
+
+	var next func(buf []byte) (int, bool) // fills a block, reports ok
+	if useStdin {
+		next = func(buf []byte) (int, bool) {
+			n, err := io.ReadFull(os.Stdin, buf)
+			if n == 0 || (err != nil && err != io.ErrUnexpectedEOF) {
+				return n, n > 0
+			}
+			return n, true
+		}
+	} else {
+		c := cmdutil.OpenServer(server)
+		defer c.Close()
+		dev := cmdutil.PickDevice(c, device)
+		rate = c.Devices()[dev].RecSampleFreq
+		ac, err := c.CreateAC(dev, 0, af.ACAttributes{})
+		if err != nil {
+			cmdutil.Die("radio: %v", err)
+		}
+		t, err := ac.GetTime()
+		if err != nil {
+			cmdutil.Die("radio: %v", err)
+		}
+		next = func(buf []byte) (int, bool) {
+			_, n, err := ac.RecordSamples(t, buf, true)
+			if err != nil {
+				return 0, false
+			}
+			t = t.Add(n)
+			return n, true
+		}
+	}
+
+	block := rate / 20 // 50 ms datagrams
+	pkt := make([]byte, hdrBytes+block)
+	seq := uint32(0)
+	sampleIndex := uint32(0)
+	for i := 0; blocks < 0 || i < blocks; i++ {
+		n, ok := next(pkt[hdrBytes : hdrBytes+block])
+		if !ok {
+			return
+		}
+		binary.BigEndian.PutUint32(pkt[0:], magic)
+		binary.BigEndian.PutUint32(pkt[4:], seq)
+		binary.BigEndian.PutUint32(pkt[8:], sampleIndex)
+		if _, err := conn.Write(pkt[:hdrBytes+n]); err != nil {
+			cmdutil.Die("radio: send: %v", err)
+		}
+		seq++
+		sampleIndex += uint32(n)
+		if n < block {
+			return // stdin drained
+		}
+	}
+}
+
+func doRecv(server string, device int, addr string, delay float64, blocks int) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		cmdutil.Die("radio: %v", err)
+	}
+	var pc *net.UDPConn
+	if ua.IP.IsMulticast() {
+		pc, err = net.ListenMulticastUDP("udp", nil, ua)
+	} else {
+		pc, err = net.ListenUDP("udp", ua)
+	}
+	if err != nil {
+		cmdutil.Die("radio: %v", err)
+	}
+	defer pc.Close()
+
+	c := cmdutil.OpenServer(server)
+	defer c.Close()
+	dev := cmdutil.PickDevice(c, device)
+	rate := c.Devices()[dev].PlaySampleFreq
+	ac, err := c.CreateAC(dev, 0, af.ACAttributes{})
+	if err != nil {
+		cmdutil.Die("radio: %v", err)
+	}
+
+	buf := make([]byte, 64<<10)
+	var base af.ATime // receiver device time of the sender's sample 0
+	haveBase := false
+	var baseIndex uint32
+	for i := 0; blocks < 0 || i < blocks; i++ {
+		n, _, err := pc.ReadFromUDP(buf)
+		if err != nil {
+			cmdutil.Die("radio: recv: %v", err)
+		}
+		if n < hdrBytes || binary.BigEndian.Uint32(buf[0:]) != magic {
+			continue
+		}
+		sampleIndex := binary.BigEndian.Uint32(buf[8:])
+		data := buf[hdrBytes:n]
+		if !haveBase {
+			now, err := ac.GetTime()
+			if err != nil {
+				cmdutil.Die("radio: %v", err)
+			}
+			base = now.Add(int(delay * float64(rate)))
+			baseIndex = sampleIndex
+			haveBase = true
+		}
+		at := base.Add(int(int32(sampleIndex - baseIndex)))
+		if _, err := ac.PlaySamples(at, data); err != nil {
+			cmdutil.Die("radio: %v", err)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "radio: done")
+}

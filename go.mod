@@ -1,0 +1,3 @@
+module audiofile
+
+go 1.22

@@ -1,0 +1,100 @@
+// Package atime implements AudioFile device time: a 32-bit unsigned counter
+// that increments once per sample period and wraps on overflow.
+//
+// Because the counter wraps, two times cannot be compared directly. All
+// possible values are divided into equally sized "past" and "future" regions
+// relative to a reference time t: any time from t clockwise to t+2^31 is
+// after t, and the other half circle is before t. Comparisons are made with
+// two's complement subtraction, exactly as the paper prescribes:
+//
+//	if ((int)(b - a) > 0)  /* time b is later than time a */
+//
+// Time values are specific to a particular audio device; there is no
+// absolute reference. Callers must not compare times separated by close to
+// 2^31 samples (about 12 hours at 48 kHz, 3 days at 8 kHz).
+package atime
+
+// ATime is an audio device time in sample ticks. It wraps modulo 2^32.
+type ATime uint32
+
+// HalfRange is the boundary between "past" and "future" relative to a
+// reference time: t+HalfRange is the division point q in the paper's
+// circular diagram.
+const HalfRange = 1 << 31
+
+// After reports whether b is strictly later than a in wrapped time.
+func After(b, a ATime) bool { return int32(b-a) > 0 }
+
+// Before reports whether b is strictly earlier than a in wrapped time.
+func Before(b, a ATime) bool { return int32(b-a) < 0 }
+
+// Sub returns the signed distance b-a in sample ticks. The result is
+// positive when b is later than a and negative when earlier.
+func Sub(b, a ATime) int32 { return int32(b - a) }
+
+// Add returns t advanced by n ticks; n may be negative.
+func Add(t ATime, n int) ATime { return t + ATime(int32(n)) }
+
+// Min returns the earlier of a and b.
+func Min(a, b ATime) ATime {
+	if Before(a, b) {
+		return a
+	}
+	return b
+}
+
+// Max returns the later of a and b.
+func Max(a, b ATime) ATime {
+	if After(a, b) {
+		return a
+	}
+	return b
+}
+
+// Clamp limits t to the inclusive wrapped interval [lo, hi]. It assumes
+// lo is not after hi.
+func Clamp(t, lo, hi ATime) ATime {
+	if Before(t, lo) {
+		return lo
+	}
+	if After(t, hi) {
+		return hi
+	}
+	return t
+}
+
+// SecondsToTicks converts a duration in seconds to sample ticks at the
+// given sampling rate, rounding toward zero.
+func SecondsToTicks(sec float64, rate int) int {
+	return int(sec * float64(rate))
+}
+
+// TicksToSeconds converts a tick count to seconds at the given rate.
+func TicksToSeconds(ticks int, rate int) float64 {
+	return float64(ticks) / float64(rate)
+}
+
+// Correspondence relates two device clocks, following the paper's formula
+//
+//	t_b = T_b + R_b * ((t_a - T_a) / R_a)
+//
+// where (Ta, Tb) are values of clocks A and B observed "at the same time"
+// and Ra, Rb are their rates in ticks per second. The relationship is
+// approximate: crystal rates are never known exactly, but the conversion is
+// good enough for scheduling across devices.
+type Correspondence struct {
+	Ta, Tb ATime   // simultaneous observations of the two clocks
+	Ra, Rb float64 // clock rates in ticks/second
+}
+
+// AtoB converts a time on clock A to the corresponding time on clock B.
+func (c Correspondence) AtoB(ta ATime) ATime {
+	dt := float64(Sub(ta, c.Ta)) / c.Ra
+	return Add(c.Tb, int(dt*c.Rb))
+}
+
+// BtoA converts a time on clock B to the corresponding time on clock A.
+func (c Correspondence) BtoA(tb ATime) ATime {
+	dt := float64(Sub(tb, c.Tb)) / c.Rb
+	return Add(c.Ta, int(dt*c.Ra))
+}

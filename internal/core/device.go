@@ -1,0 +1,230 @@
+// Package core implements the heart of the AudioFile server: the
+// per-device buffering engine of §7.2. Each abstract audio device keeps
+// roughly four seconds of future playback and recent record data in
+// circular buffers indexed by device time, kept consistent with the
+// (simulated) hardware by a periodic update task, with write-through for
+// requests that land in the update regions, mix-by-default/preempt-on-
+// request output, and the timeLastValid silence-fill optimization.
+package core
+
+import (
+	"math"
+
+	"audiofile/internal/atime"
+	"audiofile/internal/ring"
+	"audiofile/internal/sampleconv"
+)
+
+// Backend is the device-dependent hardware interface: what the DDA needs
+// from real or simulated audio hardware. internal/vdev.Device implements
+// it directly; the LineServer backend implements it over UDP.
+type Backend interface {
+	// Time synchronizes hardware state and returns the current device time.
+	Time() atime.ATime
+	// WritePlay pushes frame data into the hardware play buffer.
+	WritePlay(t atime.ATime, data []byte) int
+	// ReadRecord pulls captured frame data from the hardware.
+	ReadRecord(t atime.ATime, buf []byte) int
+	// HWFrames is the hardware buffer depth in frames.
+	HWFrames() int
+}
+
+// Config describes an abstract audio device as exposed to clients (§5.4).
+type Config struct {
+	Name       string
+	Type       uint8 // proto.DevCodec etc.
+	Rate       int
+	Enc        sampleconv.Encoding
+	Channels   int
+	BufSeconds float64 // server buffer depth; 0 means 4 seconds
+
+	NumInputs       int
+	NumOutputs      int
+	InputsFromPhone uint32
+	OutputsToPhone  uint32
+}
+
+// Device is the device-independent server's view of one audio device: the
+// paper's AudioDeviceRec. It is owned by the server's single-threaded main
+// loop and is not safe for concurrent use.
+type Device struct {
+	Cfg     Config
+	Index   int
+	backend Backend
+
+	playBuf *ring.Ring
+	recBuf  *ring.Ring
+
+	frameBytes int
+	bufFrames  int // power of two
+	silence    byte
+
+	// Time bookkeeping (§7.3.2). now is the paper's time0.
+	now                atime.ATime
+	timeNextUpdate     atime.ATime // hardware play buffer consistent through this
+	timeLastValid      atime.ATime // last valid playback sample written by any client
+	timeRecLastUpdated atime.ATime // record buffer consistent through this
+
+	// RecRefCount counts audio contexts that have recorded; the record
+	// update only runs when it is positive (§7.4.1 optimization).
+	RecRefCount int
+
+	// Master gain and I/O control state.
+	inputGainDB    int
+	outputGainDB   int
+	inputsEnabled  uint32
+	outputsEnabled uint32
+
+	// Views are per-channel sub-devices (the HiFi mono left/right devices)
+	// sharing this device's buffers. A view's parent points here.
+	parent  *Device
+	chanOff int // first channel of the view within the parent's frames
+	chanCnt int
+
+	scratch []byte // update-task staging buffer
+
+	// Underruns counts play frames that missed the hardware window
+	// because the update task ran too late.
+	Underruns uint64
+}
+
+// MSUpdate is the nominal periodic update interval in milliseconds.
+const MSUpdate = 100
+
+// NewDevice creates a device over a hardware backend. The server buffer
+// holds at least BufSeconds of audio, rounded up to a power of two frames.
+func NewDevice(cfg Config, b Backend) *Device {
+	if cfg.BufSeconds == 0 {
+		cfg.BufSeconds = 4
+	}
+	if cfg.NumInputs == 0 {
+		cfg.NumInputs = 1
+	}
+	if cfg.NumOutputs == 0 {
+		cfg.NumOutputs = 1
+	}
+	fb := cfg.Enc.BytesPerSamples(1) * cfg.Channels
+	frames := ring.RoundFrames(int(cfg.BufSeconds * float64(cfg.Rate)))
+	d := &Device{
+		Cfg:            cfg,
+		backend:        b,
+		frameBytes:     fb,
+		bufFrames:      frames,
+		silence:        cfg.Enc.SilenceByte(),
+		playBuf:        ring.New(frames, fb),
+		recBuf:         ring.New(frames, fb),
+		chanCnt:        cfg.Channels,
+		scratch:        make([]byte, b.HWFrames()*fb),
+		inputsEnabled:  (1 << cfg.NumInputs) - 1,
+		outputsEnabled: (1 << cfg.NumOutputs) - 1,
+	}
+	d.playBuf.Fill(0, frames, d.silence)
+	d.recBuf.Fill(0, frames, d.silence)
+	t := b.Time()
+	d.now = t
+	// The freshly initialized hardware ring holds silence for the whole
+	// window [t, t+HWFrames), so the update region starts covered: client
+	// plays landing inside it write through immediately.
+	d.timeNextUpdate = atime.Add(t, b.HWFrames())
+	d.timeLastValid = t
+	d.timeRecLastUpdated = t
+	return d
+}
+
+// NewChannelView creates a mono (or narrower) sub-device over channels
+// [chanOff, chanOff+channels) of parent, sharing its buffers and time, as
+// the Alofi server builds left/right devices on top of the stereo buffers.
+func NewChannelView(name string, devType uint8, parent *Device, chanOff, channels int) *Device {
+	cfg := parent.Cfg
+	cfg.Name = name
+	cfg.Type = devType
+	cfg.Channels = channels
+	return &Device{
+		Cfg:        cfg,
+		backend:    parent.backend,
+		parent:     parent,
+		chanOff:    chanOff,
+		chanCnt:    channels,
+		frameBytes: parent.frameBytes,
+		bufFrames:  parent.bufFrames,
+		silence:    parent.silence,
+	}
+}
+
+// root returns the buffer-owning device (itself, or a view's parent).
+func (d *Device) root() *Device {
+	if d.parent != nil {
+		return d.parent
+	}
+	return d
+}
+
+// IsView reports whether d is a channel view of another device.
+func (d *Device) IsView() bool { return d.parent != nil }
+
+// Parent returns the buffer-owning parent of a view, or nil.
+func (d *Device) Parent() *Device { return d.parent }
+
+// BufFrames returns the server buffer depth in frames.
+func (d *Device) BufFrames() int { return d.root().bufFrames }
+
+// FrameBytes returns one frame of the underlying device in bytes.
+func (d *Device) FrameBytes() int { return d.root().frameBytes }
+
+// ViewFrameBytes returns the bytes per frame as seen by clients of this
+// device (its own channel count, not the parent's).
+func (d *Device) ViewFrameBytes() int {
+	return d.Cfg.Enc.BytesPerSamples(1) * d.chanCnt
+}
+
+// Backend exposes the hardware backend (for DDA-specific control).
+func (d *Device) Backend() Backend { return d.backend }
+
+// Now returns the server's view of device time as of the last refresh.
+func (d *Device) Now() atime.ATime { return d.root().now }
+
+// Time refreshes the time register from the hardware and returns it
+// (the paper's CODEC_UPDATE_TIME).
+func (d *Device) Time() atime.ATime {
+	r := d.root()
+	r.now = r.backend.Time()
+	return r.now
+}
+
+// gainFactor converts a dB value to a linear multiplier.
+func gainFactor(db int) float64 {
+	if db == 0 {
+		return 1.0
+	}
+	return math.Pow(10, float64(db)/20)
+}
+
+// InputGain returns the master input gain in dB.
+func (d *Device) InputGain() int { return d.root().inputGainDB }
+
+// OutputGain returns the master output gain in dB.
+func (d *Device) OutputGain() int { return d.root().outputGainDB }
+
+// SetInputGain sets the master input gain in dB.
+func (d *Device) SetInputGain(db int) { d.root().inputGainDB = db }
+
+// SetOutputGain sets the master output gain (volume) in dB.
+func (d *Device) SetOutputGain(db int) { d.root().outputGainDB = db }
+
+// EnableInputs sets bits in the enabled-inputs mask.
+func (d *Device) EnableInputs(mask uint32) { d.root().inputsEnabled |= mask }
+
+// DisableInputs clears bits in the enabled-inputs mask.
+func (d *Device) DisableInputs(mask uint32) { d.root().inputsEnabled &^= mask }
+
+// EnableOutputs sets bits in the enabled-outputs mask.
+func (d *Device) EnableOutputs(mask uint32) { d.root().outputsEnabled |= mask }
+
+// DisableOutputs clears bits in the enabled-outputs mask.
+func (d *Device) DisableOutputs(mask uint32) { d.root().outputsEnabled &^= mask }
+
+// InputsEnabled returns the enabled-inputs mask.
+func (d *Device) InputsEnabled() uint32 { return d.root().inputsEnabled }
+
+// OutputsEnabled returns the enabled-outputs mask.
+func (d *Device) OutputsEnabled() uint32 { return d.root().outputsEnabled }

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"audiofile/internal/atime"
+	"audiofile/internal/sampleconv"
+	"audiofile/internal/vdev"
+)
+
+// Model-based test: a reference implementation of the output model of
+// §2.2 — an infinite timeline where play requests land (discard-past,
+// gain, mix-or-preempt, silence elsewhere) — checked against the real
+// buffering engine (server buffers + update task + simulated hardware)
+// over randomized operation sequences.
+
+// timelineModel is the reference: a sparse map from device time to the
+// µ-law byte the speaker must emit at that tick.
+type timelineModel struct {
+	data map[uint32]byte
+}
+
+func newTimelineModel() *timelineModel {
+	return &timelineModel{data: make(map[uint32]byte)}
+}
+
+func (m *timelineModel) at(t atime.ATime) byte {
+	if b, ok := m.data[uint32(t)]; ok {
+		return b
+	}
+	return 0xFF // silence
+}
+
+// play applies a play request exactly as the engine's pipeline defines:
+// frames before "now" are discarded; each surviving sample is decoded,
+// gain-scaled (with the engine's float-truncation), then mixed with or
+// copied over what is already scheduled.
+func (m *timelineModel) play(now, start atime.ATime, data []byte, gainDB int, preempt bool) {
+	gain := gainFactor(gainDB)
+	for i, b := range data {
+		ft := atime.Add(start, i)
+		if atime.Before(ft, now) {
+			continue
+		}
+		v := int(sampleconv.DecodeMuLaw(b))
+		if gain != 1.0 {
+			v = int(float64(v) * gain)
+		}
+		if !preempt {
+			v += int(sampleconv.DecodeMuLaw(m.at(ft)))
+		}
+		m.data[uint32(ft)] = sampleconv.EncodeMuLaw(sampleconv.Clamp16(v))
+	}
+}
+
+func TestModelRandomizedPlaySequences(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			clk := vdev.NewManualClock(8000)
+			sink := &vdev.CaptureSink{}
+			hw := vdev.New(vdev.Config{
+				Name: "codec0", Rate: 8000, Enc: sampleconv.MU255, Channels: 1,
+				HWFrames: 256, Clock: clk, Sink: sink,
+			})
+			dev := NewDevice(Config{
+				Name: "codec0", Rate: 8000, Enc: sampleconv.MU255, Channels: 1,
+				BufSeconds: 1, // 8192-frame buffer keeps the test fast
+			}, hw)
+			model := newTimelineModel()
+
+			var maxEnd atime.ATime
+			for op := 0; op < 120; op++ {
+				switch rng.Intn(3) {
+				case 0: // time passes (at most the hw window per step)
+					clk.Advance(rng.Intn(200))
+					dev.Update()
+				default: // a play request
+					now := dev.Time()
+					// Offsets span past, immediate, and comfortably-future
+					// cases but stay inside the buffer horizon.
+					offset := rng.Intn(2200) - 150
+					n := 1 + rng.Intn(300)
+					data := make([]byte, n)
+					for i := range data {
+						data[i] = byte(rng.Intn(256))
+						if data[i] == 0x7F {
+							data[i] = 0xFF // avoid µ-law negative zero ambiguity
+						}
+					}
+					gains := []int{-6, 0, 6}
+					gainDB := gains[rng.Intn(len(gains))]
+					preempt := rng.Intn(3) == 0
+					start := atime.Add(now, offset)
+					res := dev.Play(start, data, sampleconv.MU255, gainDB, preempt)
+					if res.Blocked {
+						t.Fatalf("op %d unexpectedly blocked (offset %d, n %d)", op, offset, n)
+					}
+					// The model applies the same request against the same
+					// "now" the engine used.
+					model.play(res.Now, start, data, gainDB, preempt)
+					if end := atime.Add(start, n); atime.After(end, maxEnd) {
+						maxEnd = end
+					}
+				}
+			}
+			// Drain everything to the speaker.
+			for atime.Before(dev.Now(), atime.Add(maxEnd, 256)) {
+				clk.Advance(200)
+				dev.Update()
+			}
+
+			got, start := sink.Bytes()
+			mismatches := 0
+			for i, b := range got {
+				ft := atime.Add(start, i)
+				want := model.at(ft)
+				if b != want {
+					mismatches++
+					if mismatches <= 5 {
+						t.Errorf("seed %d: t=%d speaker=%#x model=%#x", seed, uint32(ft), b, want)
+					}
+				}
+			}
+			if mismatches > 5 {
+				t.Errorf("seed %d: %d total mismatches over %d frames", seed, mismatches, len(got))
+			}
+		})
+	}
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"audiofile/internal/atime"
+	"audiofile/internal/sampleconv"
+)
+
+// PlayResult reports how a play request was handled.
+type PlayResult struct {
+	Consumed int         // frames consumed (discarded-as-past + buffered)
+	Blocked  bool        // frames remain that fall beyond the buffer horizon
+	Now      atime.ATime // device time after handling
+}
+
+// Play handles a PlaySamples request against this device (or view). data
+// holds frames in the client's encoding enc with the view's channel count,
+// already in native byte order. gainDB is the audio context's play gain,
+// preempt its preemption flag.
+//
+// Per the output model (§2.2): data scheduled for the past is silently
+// discarded; data within the buffer window is converted, gain-adjusted and
+// mixed (or copied, when preempting) into the play buffer; data beyond the
+// window is left for the caller to retry later (Blocked).
+func (d *Device) Play(start atime.ATime, data []byte, enc sampleconv.Encoding, gainDB int, preempt bool) PlayResult {
+	r := d.root()
+	now := r.backend.Time()
+	r.now = now
+	vfb := enc.BytesPerSamples(1) * d.chanCnt // client frame size
+	total := len(data) / vfb
+	consumed := 0
+
+	// Discard the portion scheduled for the past.
+	if atime.Before(start, now) {
+		skip := int(atime.Sub(now, start))
+		if skip >= total {
+			return PlayResult{Consumed: total, Now: now}
+		}
+		consumed += skip
+		data = data[skip*vfb:]
+		start = now
+		total -= skip
+	}
+
+	// The play buffer is usable through now + bufFrames - hwFrames: the
+	// frames nearest the horizon must stay clear for the update task's
+	// hardware window (§7.2: the buffer ends at the time of the last
+	// update plus the buffer size).
+	bufEnd := atime.Add(now, r.bufFrames-r.backend.HWFrames())
+	n := total
+	if atime.After(atime.Add(start, n), bufEnd) {
+		n = int(atime.Sub(bufEnd, start))
+		if n < 0 {
+			n = 0
+		}
+	}
+
+	if n > 0 {
+		// Silence-fill the gap between the last valid sample and this
+		// request (§7.4.1): only when absolutely necessary.
+		if atime.After(start, r.timeLastValid) {
+			fillFrom := atime.Max(r.timeLastValid, atime.Add(start, -r.bufFrames))
+			if gap := int(atime.Sub(start, fillFrom)); gap > 0 {
+				r.playBuf.Fill(fillFrom, gap, r.silence)
+			}
+		}
+		gain := gainFactor(gainDB)
+		if preempt {
+			d.blitPlay(start, n, data, enc, gain, false)
+		} else {
+			// Samples before timeLastValid mix with existing data; samples
+			// after it are copied (nothing valid is there).
+			mixN := n
+			if atime.After(atime.Add(start, n), r.timeLastValid) {
+				mixN = int(atime.Sub(r.timeLastValid, start))
+				if mixN < 0 {
+					mixN = 0
+				}
+			}
+			if mixN > 0 {
+				d.blitPlay(start, mixN, data, enc, gain, true)
+			}
+			if mixN < n {
+				d.blitPlay(atime.Add(start, mixN), n-mixN, data[mixN*vfb:], enc, gain, false)
+			}
+		}
+		if end := atime.Add(start, n); atime.After(end, r.timeLastValid) {
+			r.timeLastValid = end
+		}
+		// Write-through: the part of the request that falls inside the
+		// update region [now, timeNextUpdate) must reach the hardware
+		// immediately; the periodic task has already passed it by.
+		if r.outputsEnabled != 0 && atime.Before(start, r.timeNextUpdate) {
+			wn := int(atime.Sub(r.timeNextUpdate, start))
+			if wn > n {
+				wn = n
+			}
+			r.pushToHW(start, wn)
+		}
+		consumed += n
+	}
+	return PlayResult{Consumed: consumed, Blocked: n < total, Now: now}
+}
+
+// blitPlay converts nframes of client samples into the play buffer region
+// starting at t. For a full-width device it processes packed regions; for
+// a channel view it touches only the view's channels inside each frame.
+func (d *Device) blitPlay(t atime.ATime, nframes int, src []byte, enc sampleconv.Encoding, gain float64, mix bool) {
+	r := d.root()
+	a, b := r.playBuf.Region(t, nframes)
+	if d.parent == nil {
+		ch := r.Cfg.Channels
+		na := len(a) / r.frameBytes
+		sampleconv.Process(a, r.Cfg.Enc, src, enc, na*ch, gain, mix)
+		if b != nil {
+			sampleconv.Process(b, r.Cfg.Enc, src[enc.BytesPerSamples(na*ch):], enc,
+				(nframes-na)*ch, gain, mix)
+		}
+		return
+	}
+	// Channel view: strided per-sample processing.
+	d.blitView(a, b, src, enc, gain, mix, true)
+}
+
+// blitView moves samples between a view's packed client data and the
+// parent's interleaved frames. toBuf selects direction: true converts src
+// (client data) into the buffer regions; false extracts buffer samples
+// into src (which is then the destination, used by Record).
+func (d *Device) blitView(a, b []byte, client []byte, enc sampleconv.Encoding, gain float64, mix, toBuf bool) {
+	r := d.root()
+	devEnc := r.Cfg.Enc
+	devCh := r.Cfg.Channels
+	frame := 0
+	for _, region := range [][]byte{a, b} {
+		if region == nil {
+			continue
+		}
+		rf := len(region) / r.frameBytes
+		for i := 0; i < rf; i++ {
+			for c := 0; c < d.chanCnt; c++ {
+				bufIdx := i*devCh + d.chanOff + c
+				cliIdx := (frame+i)*d.chanCnt + c
+				if toBuf {
+					v := sampleconv.DecodeSample(enc, client, cliIdx)
+					if gain != 1.0 {
+						v = int(float64(v) * gain)
+					}
+					if mix {
+						v += sampleconv.DecodeSample(devEnc, region, bufIdx)
+					}
+					sampleconv.EncodeSample(devEnc, region, bufIdx, v)
+				} else {
+					v := sampleconv.DecodeSample(devEnc, region, bufIdx)
+					if gain != 1.0 {
+						v = int(float64(v) * gain)
+					}
+					sampleconv.EncodeSample(enc, client, cliIdx, v)
+				}
+			}
+		}
+		frame += rf
+	}
+}
+
+// RecordResult reports how a record request was handled.
+type RecordResult struct {
+	Avail int         // frames delivered into dst (from the request start)
+	Now   atime.ATime // device time after handling
+}
+
+// Record handles a RecordSamples request: it fills dst (client encoding
+// enc, view channel count) with up to nframes frames starting at start.
+// Frames older than the buffer window read as silence (§2.3); frames up to
+// "now" come from the record buffer; frames in the future are not
+// delivered — the caller blocks or returns short according to the
+// request's block flag.
+func (d *Device) Record(start atime.ATime, dst []byte, enc sampleconv.Encoding, gainDB int) RecordResult {
+	r := d.root()
+	now := r.backend.Time()
+	r.now = now
+	vfb := enc.BytesPerSamples(1) * d.chanCnt // client frame size
+	want := len(dst) / vfb
+
+	avail := want
+	if atime.After(atime.Add(start, want), now) {
+		avail = int(atime.Sub(now, start))
+		if avail < 0 {
+			avail = 0
+		}
+	}
+	if avail == 0 {
+		return RecordResult{Avail: 0, Now: now}
+	}
+	// Bring the record buffer up to date if the request needs data newer
+	// than the last record update.
+	if atime.After(atime.Add(start, avail), r.timeRecLastUpdated) {
+		r.recUpdate(now)
+	}
+
+	gain := gainFactor(gainDB)
+	oldest := atime.Add(now, -r.bufFrames)
+	// Silence for the portion older than the buffer.
+	pre := 0
+	if atime.Before(start, oldest) {
+		pre = int(atime.Sub(oldest, start))
+		if pre > avail {
+			pre = avail
+		}
+		sampleconv.Silence(enc, dst[:pre*vfb])
+		start = atime.Add(start, pre)
+	}
+	n := avail - pre
+	if n > 0 {
+		out := dst[pre*vfb:]
+		a, b := r.recBuf.Region(start, n)
+		if d.parent == nil {
+			ch := r.Cfg.Channels
+			na := len(a) / r.frameBytes
+			sampleconv.Process(out, enc, a, r.Cfg.Enc, na*ch, gain, false)
+			sampleconv.Process(out[enc.BytesPerSamples(na*ch):], enc, b, r.Cfg.Enc, (n-na)*ch, gain, false)
+		} else {
+			d.blitView(a, b, out, enc, gain, false, false)
+		}
+	}
+	return RecordResult{Avail: avail, Now: now}
+}

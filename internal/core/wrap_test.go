@@ -1,0 +1,77 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"audiofile/internal/atime"
+	"audiofile/internal/sampleconv"
+	"audiofile/internal/vdev"
+)
+
+// TestPlayRecordAcrossTimeWrap runs the whole engine across the 2^32
+// device-time wrap: requests scheduled to straddle the wrap must play and
+// record exactly as anywhere else on the circle.
+func TestPlayRecordAcrossTimeWrap(t *testing.T) {
+	clk := vdev.NewManualClock(8000)
+	clk.Set(atime.ATime(math.MaxUint32 - 2000)) // 2000 ticks before wrap
+	lb := vdev.NewLoopback(4096, 1, 0, 0xFF)
+	hw := vdev.New(vdev.Config{
+		Name: "codec0", Rate: 8000, Enc: sampleconv.MU255, Channels: 1,
+		HWFrames: 1024, Clock: clk, Sink: lb, Source: lb,
+	})
+	dev := NewDevice(Config{Name: "codec0", Rate: 8000, Enc: sampleconv.MU255, Channels: 1}, hw)
+	dev.RecRefCount = 1
+
+	start := atime.Add(dev.Time(), 1000) // 1000 ticks before the wrap point
+	data := make([]byte, 2000)           // spans the wrap by 1000 ticks
+	for i := range data {
+		data[i] = sampleconv.EncodeMuLaw(int16(1000 + i))
+	}
+	res := dev.Play(start, data, sampleconv.MU255, 0, false)
+	if res.Consumed != 2000 || res.Blocked {
+		t.Fatalf("Play across wrap = %+v", res)
+	}
+	for i := 0; i < 8; i++ {
+		clk.Advance(500)
+		dev.Update()
+	}
+	if uint32(dev.Now()) > 3000000000 {
+		t.Fatalf("device time did not wrap: %d", dev.Now())
+	}
+	buf := make([]byte, 2000)
+	rr := dev.Record(start, buf, sampleconv.MU255, 0)
+	if rr.Avail != 2000 {
+		t.Fatalf("Record across wrap avail = %d", rr.Avail)
+	}
+	if !bytes.Equal(buf, data) {
+		for i := range buf {
+			if buf[i] != data[i] {
+				t.Fatalf("first wrap mismatch at %d: %#x != %#x", i, buf[i], data[i])
+			}
+		}
+	}
+}
+
+// TestGetTimeNearWrap verifies the comparison arithmetic the engine uses
+// near the wrap: a time just after the wrap reads as "after" one just
+// before it.
+func TestGetTimeNearWrap(t *testing.T) {
+	clk := vdev.NewManualClock(8000)
+	clk.Set(atime.ATime(math.MaxUint32 - 10))
+	hw := vdev.New(vdev.Config{
+		Name: "c", Rate: 8000, Enc: sampleconv.MU255, Channels: 1,
+		HWFrames: 64, Clock: clk,
+	})
+	dev := NewDevice(Config{Name: "c", Rate: 8000, Enc: sampleconv.MU255, Channels: 1}, hw)
+	before := dev.Time()
+	clk.Advance(20)
+	after := dev.Time()
+	if !atime.After(after, before) {
+		t.Errorf("time %d not after %d across the wrap", after, before)
+	}
+	if atime.Sub(after, before) != 20 {
+		t.Errorf("Sub across wrap = %d", atime.Sub(after, before))
+	}
+}

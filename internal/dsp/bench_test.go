@@ -1,0 +1,79 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+// Benchmarks for the signal-processing substrate behind afft (real-time
+// spectrogram budget) and the telephone line's DTMF decoder.
+
+func benchSignal(n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(0.05*float64(i)) + 0.3*math.Sin(0.31*float64(i))
+	}
+	return x
+}
+
+func BenchmarkFFT256(b *testing.B)  { benchFFT(b, 256) }
+func BenchmarkFFT1024(b *testing.B) { benchFFT(b, 1024) }
+
+func benchFFT(b *testing.B, n int) {
+	x := benchSignal(n)
+	re := make([]float64, n)
+	im := make([]float64, n)
+	b.SetBytes(int64(8 * n))
+	for i := 0; i < b.N; i++ {
+		copy(re, x)
+		for j := range im {
+			im[j] = 0
+		}
+		FFT(re, im, false)
+	}
+}
+
+func BenchmarkGoertzel(b *testing.B) {
+	x := benchSignal(205)
+	b.SetBytes(8 * 205)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += Goertzel(x, 697, 8000)
+	}
+	_ = sink
+}
+
+func BenchmarkDTMFDetectorFeed(b *testing.B) {
+	// One second of audio through the line decoder: the per-update cost
+	// the simulated telephone hardware pays.
+	d := NewDTMFDetector(8000)
+	x := make([]int16, 8000)
+	for i := range x {
+		x[i] = int16(8000 * math.Sin(2*math.Pi*697*float64(i)/8000))
+	}
+	b.SetBytes(8000)
+	for i := 0; i < b.N; i++ {
+		d.Feed(x)
+	}
+}
+
+func BenchmarkHammingWindow(b *testing.B) {
+	x := benchSignal(512)
+	b.SetBytes(8 * 512)
+	for i := 0; i < b.N; i++ {
+		Hamming.Apply(x)
+	}
+}
+
+func BenchmarkPowerDBm(b *testing.B) {
+	x := make([]int16, 8000)
+	for i := range x {
+		x[i] = int16(i%4000 - 2000)
+	}
+	b.SetBytes(16000)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += PowerDBm(x)
+	}
+	_ = sink
+}

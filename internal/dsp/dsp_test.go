@@ -1,0 +1,305 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFFTImpulse(t *testing.T) {
+	// FFT of a unit impulse is all ones.
+	n := 16
+	re := make([]float64, n)
+	im := make([]float64, n)
+	re[0] = 1
+	FFT(re, im, false)
+	for k := 0; k < n; k++ {
+		if math.Abs(re[k]-1) > 1e-12 || math.Abs(im[k]) > 1e-12 {
+			t.Fatalf("impulse FFT bin %d = (%g, %g), want (1, 0)", k, re[k], im[k])
+		}
+	}
+}
+
+func TestFFTSineBin(t *testing.T) {
+	// A sine at exactly bin 5 concentrates all energy there.
+	n := 64
+	re := make([]float64, n)
+	im := make([]float64, n)
+	for i := 0; i < n; i++ {
+		re[i] = math.Sin(2 * math.Pi * 5 * float64(i) / float64(n))
+	}
+	FFT(re, im, false)
+	mag := func(k int) float64 { return math.Hypot(re[k], im[k]) }
+	if mag(5) < float64(n)/2-1e-9 {
+		t.Errorf("bin 5 magnitude = %g, want %g", mag(5), float64(n)/2)
+	}
+	for k := 0; k <= n/2; k++ {
+		if k == 5 {
+			continue
+		}
+		if mag(k) > 1e-9 {
+			t.Errorf("leakage at bin %d: %g", k, mag(k))
+		}
+	}
+}
+
+func TestFFTInverseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 128
+		re := make([]float64, n)
+		im := make([]float64, n)
+		orig := make([]float64, n)
+		s := seed
+		for i := range re {
+			s = s*6364136223846793005 + 1442695040888963407
+			orig[i] = float64(int16(s >> 48))
+			re[i] = orig[i]
+		}
+		FFT(re, im, false)
+		FFT(re, im, true)
+		for i := range re {
+			if math.Abs(re[i]/float64(n)-orig[i]) > 1e-6*math.Max(1, math.Abs(orig[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	// Sum of |x|^2 equals sum of |X|^2 / N.
+	n := 256
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(0.1*float64(i)) + 0.5*math.Cos(0.37*float64(i))
+	}
+	var timeE float64
+	for _, v := range x {
+		timeE += v * v
+	}
+	re := append([]float64(nil), x...)
+	im := make([]float64, n)
+	FFT(re, im, false)
+	var freqE float64
+	for k := range re {
+		freqE += re[k]*re[k] + im[k]*im[k]
+	}
+	freqE /= float64(n)
+	if math.Abs(timeE-freqE) > 1e-6*timeE {
+		t.Errorf("Parseval: time %g vs freq %g", timeE, freqE)
+	}
+}
+
+func TestFFTPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two FFT did not panic")
+		}
+	}()
+	FFT(make([]float64, 12), make([]float64, 12), false)
+}
+
+func TestPowerSpectrum(t *testing.T) {
+	n := 64
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Cos(2 * math.Pi * 8 * float64(i) / float64(n))
+	}
+	ps := PowerSpectrum(x)
+	if len(ps) != n/2+1 {
+		t.Fatalf("len = %d, want %d", len(ps), n/2+1)
+	}
+	best := 0
+	for k := range ps {
+		if ps[k] > ps[best] {
+			best = k
+		}
+	}
+	if best != 8 {
+		t.Errorf("peak bin = %d, want 8", best)
+	}
+}
+
+func TestWindows(t *testing.T) {
+	for _, w := range []Window{Hamming, Hanning, Triangular} {
+		x := make([]float64, 33)
+		for i := range x {
+			x[i] = 1
+		}
+		w.Apply(x)
+		mid := x[16]
+		if mid < 0.9 {
+			t.Errorf("window %d center = %g, want near 1", w, mid)
+		}
+		if x[0] > 0.1 || x[32] > 0.1 {
+			t.Errorf("window %d edges = %g, %g, want near 0", w, x[0], x[32])
+		}
+		// Symmetry.
+		for i := 0; i < 16; i++ {
+			if math.Abs(x[i]-x[32-i]) > 1e-12 {
+				t.Errorf("window %d asymmetric at %d", w, i)
+			}
+		}
+	}
+	// Rectangular leaves data alone.
+	x := []float64{1, 2, 3}
+	Rectangular.Apply(x)
+	if x[0] != 1 || x[1] != 2 || x[2] != 3 {
+		t.Error("rectangular window modified data")
+	}
+}
+
+func TestGoertzelMatchesFFT(t *testing.T) {
+	n := 256
+	rate := 8000.0
+	freq := rate * 10 / float64(n) // exactly bin 10
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * freq * float64(i) / rate)
+	}
+	g := Goertzel(x, freq, rate)
+	ps := PowerSpectrum(x)
+	if math.Abs(g-ps[10]) > 1e-6*ps[10] {
+		t.Errorf("Goertzel = %g, FFT bin = %g", g, ps[10])
+	}
+}
+
+func TestGoertzelSelectivity(t *testing.T) {
+	n := 205
+	rate := 8000.0
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * 697 * float64(i) / rate)
+	}
+	at := Goertzel(x, 697, rate)
+	off := Goertzel(x, 1209, rate)
+	if at < 100*off {
+		t.Errorf("Goertzel selectivity: on=%g off=%g", at, off)
+	}
+}
+
+func TestPowerDBm(t *testing.T) {
+	// A full-scale sine is +3.16 dBm (the digital clipping level).
+	n := 8000
+	x := make([]int16, n)
+	for i := range x {
+		x[i] = int16(32124 * math.Sin(2*math.Pi*440*float64(i)/8000))
+	}
+	p := PowerDBm(x)
+	if math.Abs(p-3.16) > 0.1 {
+		t.Errorf("full-scale sine power = %g dBm, want ~3.16", p)
+	}
+	// Silence is -inf.
+	if !math.IsInf(PowerDBm(make([]int16, 100)), -1) {
+		t.Error("silence power not -inf")
+	}
+	if !math.IsInf(PowerDBm(nil), -1) {
+		t.Error("empty power not -inf")
+	}
+}
+
+func TestAmplitudeForDBm(t *testing.T) {
+	// Round trip: a sine at the computed amplitude measures the target dBm.
+	for _, dbm := range []float64{0, -13, -30, 3.16} {
+		amp := AmplitudeForDBm(dbm)
+		n := 8000
+		x := make([]int16, n)
+		for i := range x {
+			x[i] = int16(amp * math.Sin(2*math.Pi*1000*float64(i)/8000))
+		}
+		p := PowerDBm(x)
+		if math.Abs(p-dbm) > 0.1 {
+			t.Errorf("dbm %g: measured %g", dbm, p)
+		}
+	}
+}
+
+func TestDTMFFreqs(t *testing.T) {
+	lo, hi, ok := DTMFFreqs('5')
+	if !ok || lo != 770 || hi != 1336 {
+		t.Errorf("DTMFFreqs('5') = %g, %g, %v", lo, hi, ok)
+	}
+	lo, hi, ok = DTMFFreqs('#')
+	if !ok || lo != 941 || hi != 1477 {
+		t.Errorf("DTMFFreqs('#') = %g, %g, %v", lo, hi, ok)
+	}
+	if _, _, ok := DTMFFreqs('x'); ok {
+		t.Error("DTMFFreqs('x') ok = true")
+	}
+}
+
+func synthDTMF(digit byte, rate, n int, amp float64) []int16 {
+	lo, hi, _ := DTMFFreqs(digit)
+	out := make([]int16, n)
+	for i := range out {
+		v := amp * (math.Sin(2*math.Pi*lo*float64(i)/float64(rate)) +
+			0.8*math.Sin(2*math.Pi*hi*float64(i)/float64(rate)))
+		out[i] = int16(v)
+	}
+	return out
+}
+
+func TestDTMFDetectAllDigits(t *testing.T) {
+	rate := 8000
+	for _, digit := range []byte("0123456789*#ABCD") {
+		d := NewDTMFDetector(rate)
+		var got []byte
+		// 50 ms tone, 50 ms silence, as in Table 7.
+		got = append(got, d.Feed(synthDTMF(digit, rate, 400, 8000))...)
+		got = append(got, d.Feed(make([]int16, 400))...)
+		if len(got) != 1 || got[0] != digit {
+			t.Errorf("digit %c: detected %q", digit, got)
+		}
+	}
+}
+
+func TestDTMFRejectsSingleTone(t *testing.T) {
+	rate := 8000
+	d := NewDTMFDetector(rate)
+	x := make([]int16, 800)
+	for i := range x {
+		x[i] = int16(8000 * math.Sin(2*math.Pi*697*float64(i)/float64(rate)))
+	}
+	if got := d.Feed(x); len(got) != 0 {
+		t.Errorf("single tone decoded as %q", got)
+	}
+}
+
+func TestDTMFRejectsSpeechlikeNoise(t *testing.T) {
+	rate := 8000
+	d := NewDTMFDetector(rate)
+	x := make([]int16, 1600)
+	s := int64(42)
+	for i := range x {
+		s = s*6364136223846793005 + 1442695040888963407
+		x[i] = int16(s >> 50)
+	}
+	if got := d.Feed(x); len(got) != 0 {
+		t.Errorf("noise decoded as %q", got)
+	}
+}
+
+func TestDTMFHeldToneReportsOnce(t *testing.T) {
+	rate := 8000
+	d := NewDTMFDetector(rate)
+	got := d.Feed(synthDTMF('7', rate, 4000, 8000)) // 500 ms held
+	if len(got) != 1 || got[0] != '7' {
+		t.Errorf("held tone: %q", got)
+	}
+}
+
+func TestDTMFSequence(t *testing.T) {
+	rate := 8000
+	d := NewDTMFDetector(rate)
+	var got []byte
+	for _, digit := range []byte("18005551212") {
+		got = append(got, d.Feed(synthDTMF(digit, rate, 400, 8000))...)
+		got = append(got, d.Feed(make([]int16, 400))...)
+	}
+	if string(got) != "18005551212" {
+		t.Errorf("sequence decoded as %q", got)
+	}
+}

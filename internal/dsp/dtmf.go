@@ -1,0 +1,116 @@
+package dsp
+
+import "math"
+
+// DTMF detection. The LoFi hardware had a Touch-Tone decoding circuit; the
+// simulated telephone line reproduces it in software with Goertzel
+// detectors over short blocks of the outgoing (or incoming) audio stream.
+
+// DTMF row and column frequencies in Hz (Table 7).
+var (
+	DTMFRows = [4]float64{697, 770, 852, 941}
+	DTMFCols = [4]float64{1209, 1336, 1477, 1633}
+)
+
+// dtmfKeys[row][col] is the digit for a row/column frequency pair.
+var dtmfKeys = [4][4]byte{
+	{'1', '2', '3', 'A'},
+	{'4', '5', '6', 'B'},
+	{'7', '8', '9', 'C'},
+	{'*', '0', '#', 'D'},
+}
+
+// DTMFFreqs returns the low and high tone frequencies for a digit, and
+// whether the digit is valid. Valid digits are 0-9, *, #, A-D.
+func DTMFFreqs(digit byte) (low, high float64, ok bool) {
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			if dtmfKeys[r][c] == digit {
+				return DTMFRows[r], DTMFCols[c], true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// DTMFDetector decodes Touch-Tone digits from a stream of linear samples.
+// Feed it blocks with Feed; decoded digits (with at least one block of
+// inter-digit silence, so held tones report once) come back from Feed.
+type DTMFDetector struct {
+	rate      int
+	block     []float64
+	n         int
+	lastDigit byte // currently detected digit, 0 if none
+}
+
+// DTMFBlock is the detector block size in samples; at 8 kHz it is ~13 ms,
+// short enough to catch 50 ms Touch-Tone bursts.
+const DTMFBlock = 105
+
+// NewDTMFDetector returns a detector for the given sampling rate.
+func NewDTMFDetector(rate int) *DTMFDetector {
+	return &DTMFDetector{rate: rate, block: make([]float64, DTMFBlock)}
+}
+
+// Feed pushes linear samples into the detector and returns any digits
+// whose onset was detected in this data.
+func (d *DTMFDetector) Feed(samples []int16) []byte {
+	var digits []byte
+	for _, s := range samples {
+		d.block[d.n] = float64(s)
+		d.n++
+		if d.n == len(d.block) {
+			d.n = 0
+			digit := d.classify()
+			if digit != 0 && digit != d.lastDigit {
+				digits = append(digits, digit)
+			}
+			d.lastDigit = digit
+		}
+	}
+	return digits
+}
+
+// classify examines one block and returns the DTMF digit present, or 0.
+func (d *DTMFDetector) classify() byte {
+	rate := float64(d.rate)
+	var rowPow, colPow [4]float64
+	var total float64
+	for i := 0; i < 4; i++ {
+		rowPow[i] = Goertzel(d.block, DTMFRows[i], rate)
+		colPow[i] = Goertzel(d.block, DTMFCols[i], rate)
+		total += rowPow[i] + colPow[i]
+	}
+	ri, ci := maxIndex(rowPow), maxIndex(colPow)
+	rp, cp := rowPow[ri], colPow[ci]
+	// Both tones must dominate: together they should carry nearly all the
+	// energy in the eight detector bins, and each must be well above the
+	// block noise floor.
+	if total == 0 || (rp+cp)/total < 0.85 {
+		return 0
+	}
+	// Absolute threshold: reject near-silence. A -30 dBm tone at 8 kHz has
+	// block energy far above this.
+	if rp < 1e6 || cp < 1e6 {
+		return 0
+	}
+	// Twist check: the two tones must be within ~8 dB of each other.
+	ratio := rp / cp
+	if ratio < 1 {
+		ratio = 1 / ratio
+	}
+	if ratio > math.Pow(10, 0.8) {
+		return 0
+	}
+	return dtmfKeys[ri][ci]
+}
+
+func maxIndex(p [4]float64) int {
+	best := 0
+	for i := 1; i < 4; i++ {
+		if p[i] > p[best] {
+			best = i
+		}
+	}
+	return best
+}

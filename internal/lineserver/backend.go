@@ -1,0 +1,215 @@
+package lineserver
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"audiofile/internal/atime"
+)
+
+// Backend is the workstation side of the Als server (§7.4.3): a
+// core.Backend that drives a LineServer over its private UDP protocol.
+// Client requests satisfied by the AudioFile server's own buffers never
+// touch the network; only update-region traffic does. Play and record
+// packets are never retried ("by then, it is probably too late anyway");
+// register accesses are.
+type Backend struct {
+	mu sync.Mutex
+
+	conn *net.UDPConn
+	rate int
+	seq  uint32
+
+	timeout time.Duration
+
+	// Device time estimation: "the server generates an estimate of the
+	// LineServer time from the time stamp of the last LineServer packet
+	// and the local server time."
+	lastTime    atime.ATime
+	lastWhen    time.Time
+	extrapolate bool // off for manual-clock tests
+
+	recv []byte
+}
+
+// BackendOption configures a Backend.
+type BackendOption func(*Backend)
+
+// WithTimeout sets the per-packet reply timeout.
+func WithTimeout(d time.Duration) BackendOption {
+	return func(b *Backend) { b.timeout = d }
+}
+
+// WithoutExtrapolation disables wall-clock time extrapolation; every Time
+// call pings the box. Manual-clock tests use this for determinism.
+func WithoutExtrapolation() BackendOption {
+	return func(b *Backend) { b.extrapolate = false }
+}
+
+// Dial connects to a LineServer at a UDP address.
+func Dial(addr string, rate int, opts ...BackendOption) (*Backend, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, err
+	}
+	b := &Backend{
+		conn:        conn,
+		rate:        rate,
+		timeout:     100 * time.Millisecond,
+		extrapolate: true,
+		recv:        make([]byte, HeaderBytes+MaxDataBytes+64),
+	}
+	for _, o := range opts {
+		o(b)
+	}
+	// Initial time sync.
+	if rep := b.roundTrip(&Packet{Fn: FnLoopback}, 3); rep != nil {
+		b.lastTime = atime.ATime(rep.Time)
+		b.lastWhen = time.Now()
+	}
+	return b, nil
+}
+
+// Close releases the socket.
+func (b *Backend) Close() { b.conn.Close() }
+
+// roundTrip sends a request and waits for its reply, trying up to tries
+// times. It returns nil when every attempt timed out. Must be called with
+// b.mu held (or before concurrent use).
+func (b *Backend) roundTrip(req *Packet, tries int) *Packet {
+	for attempt := 0; attempt < tries; attempt++ {
+		b.seq++
+		req.Seq = b.seq
+		if _, err := b.conn.Write(req.Marshal()); err != nil {
+			return nil
+		}
+		b.conn.SetReadDeadline(time.Now().Add(b.timeout)) //nolint:errcheck
+		for {
+			n, err := b.conn.Read(b.recv)
+			if err != nil {
+				break // timeout: retry or give up
+			}
+			rep, err := Parse(b.recv[:n])
+			if err != nil || rep.Seq != req.Seq {
+				continue // stale reply from an earlier attempt
+			}
+			b.lastTime = atime.ATime(rep.Time)
+			b.lastWhen = time.Now()
+			return rep
+		}
+	}
+	return nil
+}
+
+// Time implements core.Backend: the estimated LineServer device time.
+func (b *Backend) Time() atime.ATime {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.extrapolate {
+		age := time.Since(b.lastWhen)
+		if age < 250*time.Millisecond {
+			return atime.Add(b.lastTime, int(age.Seconds()*float64(b.rate)))
+		}
+	}
+	// Stale (or extrapolation disabled): ping the box.
+	if rep := b.roundTrip(&Packet{Fn: FnLoopback}, 2); rep != nil {
+		return b.lastTime
+	}
+	// Unreachable: fall back to the stale estimate.
+	if b.extrapolate {
+		return atime.Add(b.lastTime, int(time.Since(b.lastWhen).Seconds()*float64(b.rate)))
+	}
+	return b.lastTime
+}
+
+// WritePlay implements core.Backend: push samples into the box's play
+// buffer, one MTU-sized packet at a time, no retries.
+func (b *Backend) WritePlay(t atime.ATime, data []byte) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	written := 0
+	for len(data) > 0 {
+		n := len(data)
+		if n > MaxDataBytes {
+			n = MaxDataBytes
+		}
+		// One try only: the reply carries just the time, and a lost play
+		// packet is not worth retrying.
+		b.roundTrip(&Packet{Fn: FnPlay, Time: uint32(t), Data: data[:n]}, 1)
+		written += n
+		t = atime.Add(t, n)
+		data = data[n:]
+	}
+	return written
+}
+
+// ReadRecord implements core.Backend: pull captured samples from the box.
+func (b *Backend) ReadRecord(t atime.ATime, buf []byte) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	got := 0
+	for got < len(buf) {
+		n := len(buf) - got
+		if n > MaxDataBytes {
+			n = MaxDataBytes
+		}
+		rep := b.roundTrip(&Packet{Fn: FnRecord, Time: uint32(t), Param: uint32(n)}, 1)
+		if rep == nil {
+			// Lost: deliver silence for this stretch, no retry.
+			for i := 0; i < n; i++ {
+				buf[got+i] = 0xFF
+			}
+		} else {
+			copy(buf[got:got+n], rep.Data)
+		}
+		got += n
+		t = atime.Add(t, n)
+	}
+	return got
+}
+
+// HWFrames implements core.Backend.
+func (b *Backend) HWFrames() int { return FirmwareFrames }
+
+// ReadReg reads a CODEC register, with retries.
+func (b *Backend) ReadReg(reg uint32) (uint32, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	rep := b.roundTrip(&Packet{Fn: FnReadReg, Param: reg}, 3)
+	if rep == nil || len(rep.Data) < 4 {
+		return 0, false
+	}
+	return uint32(rep.Data[0])<<24 | uint32(rep.Data[1])<<16 |
+		uint32(rep.Data[2])<<8 | uint32(rep.Data[3]), true
+}
+
+// WriteReg writes a CODEC register, with retries.
+func (b *Backend) WriteReg(reg, val uint32) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	data := []byte{byte(val >> 24), byte(val >> 16), byte(val >> 8), byte(val)}
+	return b.roundTrip(&Packet{Fn: FnWriteReg, Param: reg, Data: data}, 3) != nil
+}
+
+// Reset resets the box.
+func (b *Backend) Reset() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.roundTrip(&Packet{Fn: FnReset}, 3) != nil
+}
+
+// Loopback round-trips a payload (for testing and time sync).
+func (b *Backend) Loopback(data []byte) ([]byte, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	rep := b.roundTrip(&Packet{Fn: FnLoopback, Data: data}, 3)
+	if rep == nil {
+		return nil, false
+	}
+	return rep.Data, true
+}

@@ -1,0 +1,196 @@
+// Package netsim wraps network connections with injected propagation
+// delay and jitter. The paper's evaluation spans six host/network
+// configurations (local vs a 10 Mb/s Ethernet between MIPS and Alpha
+// workstations); on a single modern host we reproduce the *shape* of that
+// spread with a local transport, a TCP loopback transport, and TCP with
+// simulated wide-area delays.
+package netsim
+
+import (
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"time"
+)
+
+// Conn adds one-way delay to each direction of an underlying connection:
+// bytes written become visible to the peer delay/2 later, and bytes the
+// peer sent are delivered delay/2 after arrival, so request/response
+// round trips pay the full delay. Jitter adds a uniform random extra per
+// transfer.
+type Conn struct {
+	inner  net.Conn
+	oneWay time.Duration
+	jitter time.Duration
+
+	wmu    sync.Mutex
+	wq     chan packet
+	rq     chan packet
+	rbuf   []byte
+	closed chan struct{}
+	once   sync.Once
+	rerr   error
+	rmu    sync.Mutex
+
+	dmu          sync.Mutex
+	readDeadline time.Time
+}
+
+type packet struct {
+	data []byte
+	due  time.Time
+	err  error
+}
+
+// New wraps inner with a total round-trip delay and per-transfer jitter.
+func New(inner net.Conn, rtt, jitter time.Duration) *Conn {
+	c := &Conn{
+		inner:  inner,
+		oneWay: rtt / 2,
+		jitter: jitter,
+		wq:     make(chan packet, 1024),
+		rq:     make(chan packet, 1024),
+		closed: make(chan struct{}),
+	}
+	go c.writePump()
+	go c.readPump()
+	return c
+}
+
+// Dial opens a connection with injected delay.
+func Dial(network, addr string, rtt, jitter time.Duration) (*Conn, error) {
+	inner, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return New(inner, rtt, jitter), nil
+}
+
+func (c *Conn) delay() time.Duration {
+	d := c.oneWay
+	if c.jitter > 0 {
+		d += time.Duration(rand.Int63n(int64(c.jitter)))
+	}
+	return d
+}
+
+func (c *Conn) writePump() {
+	for {
+		select {
+		case p := <-c.wq:
+			if wait := time.Until(p.due); wait > 0 {
+				time.Sleep(wait)
+			}
+			if _, err := c.inner.Write(p.data); err != nil {
+				return
+			}
+		case <-c.closed:
+			return
+		}
+	}
+}
+
+func (c *Conn) readPump() {
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := c.inner.Read(buf)
+		p := packet{due: time.Now().Add(c.delay()), err: err}
+		if n > 0 {
+			p.data = append([]byte(nil), buf[:n]...)
+		}
+		select {
+		case c.rq <- p:
+		case <-c.closed:
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// Write implements net.Conn: data is queued for delayed delivery.
+func (c *Conn) Write(b []byte) (int, error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	p := packet{data: append([]byte(nil), b...), due: time.Now().Add(c.delay())}
+	select {
+	case c.wq <- p:
+		return len(b), nil
+	case <-c.closed:
+		return 0, net.ErrClosed
+	}
+}
+
+// Read implements net.Conn: delivers delayed incoming data in order. A
+// read deadline set with SetReadDeadline is honored (with the injected
+// delay counted, unlike on the inner connection).
+func (c *Conn) Read(b []byte) (int, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	for len(c.rbuf) == 0 {
+		if c.rerr != nil {
+			return 0, c.rerr
+		}
+		var timeout <-chan time.Time
+		c.dmu.Lock()
+		dl := c.readDeadline
+		c.dmu.Unlock()
+		if !dl.IsZero() {
+			d := time.Until(dl)
+			if d <= 0 {
+				return 0, os.ErrDeadlineExceeded
+			}
+			tm := time.NewTimer(d)
+			defer tm.Stop()
+			timeout = tm.C
+		}
+		select {
+		case p := <-c.rq:
+			if wait := time.Until(p.due); wait > 0 {
+				time.Sleep(wait)
+			}
+			c.rbuf = append(c.rbuf, p.data...)
+			if p.err != nil {
+				c.rerr = p.err
+			}
+		case <-timeout:
+			return 0, os.ErrDeadlineExceeded
+		case <-c.closed:
+			return 0, net.ErrClosed
+		}
+	}
+	n := copy(b, c.rbuf)
+	c.rbuf = c.rbuf[n:]
+	return n, nil
+}
+
+// Close tears the connection down.
+func (c *Conn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return c.inner.Close()
+}
+
+// LocalAddr implements net.Conn.
+func (c *Conn) LocalAddr() net.Addr { return c.inner.LocalAddr() }
+
+// RemoteAddr implements net.Conn.
+func (c *Conn) RemoteAddr() net.Addr { return c.inner.RemoteAddr() }
+
+// SetDeadline implements net.Conn.
+func (c *Conn) SetDeadline(t time.Time) error {
+	c.SetReadDeadline(t) //nolint:errcheck
+	return c.inner.SetWriteDeadline(t)
+}
+
+// SetReadDeadline implements net.Conn.
+func (c *Conn) SetReadDeadline(t time.Time) error {
+	c.dmu.Lock()
+	c.readDeadline = t
+	c.dmu.Unlock()
+	return nil
+}
+
+// SetWriteDeadline implements net.Conn.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.inner.SetWriteDeadline(t) }

@@ -1,0 +1,150 @@
+package netsim
+
+import (
+	"bytes"
+	"net"
+	"os"
+	"testing"
+	"time"
+)
+
+// echoPair returns a delayed connection to an echo server.
+func echoPair(t *testing.T, rtt, jitter time.Duration) net.Conn {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 4096)
+				for {
+					n, err := c.Read(buf)
+					if err != nil {
+						return
+					}
+					c.Write(buf[:n]) //nolint:errcheck
+				}
+			}(c)
+		}
+	}()
+	c, err := Dial("tcp", l.Addr().String(), rtt, jitter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestDataIntegrity(t *testing.T) {
+	c := echoPair(t, 2*time.Millisecond, 0)
+	msg := []byte("the quick brown fox jumps over the lazy dog")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := readFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Errorf("echo = %q", got)
+	}
+}
+
+func readFull(c net.Conn, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := c.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+func TestOrderingPreserved(t *testing.T) {
+	c := echoPair(t, time.Millisecond, time.Millisecond)
+	var sent []byte
+	for i := 0; i < 50; i++ {
+		b := []byte{byte(i), byte(i + 1), byte(i + 2)}
+		sent = append(sent, b...)
+		if _, err := c.Write(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := make([]byte, len(sent))
+	if _, err := readFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, sent) {
+		t.Error("jittered stream reordered or corrupted")
+	}
+}
+
+func TestRTTInjected(t *testing.T) {
+	const rtt = 20 * time.Millisecond
+	c := echoPair(t, rtt, 0)
+	msg := []byte("ping")
+	buf := make([]byte, 4)
+	// Warm up.
+	c.Write(msg)     //nolint:errcheck
+	readFull(c, buf) //nolint:errcheck
+	start := time.Now()
+	const rounds = 5
+	for i := 0; i < rounds; i++ {
+		c.Write(msg) //nolint:errcheck
+		if _, err := readFull(c, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	per := time.Since(start) / rounds
+	if per < rtt {
+		t.Errorf("round trip %v < injected RTT %v", per, rtt)
+	}
+	if per > 5*rtt {
+		t.Errorf("round trip %v implausibly large vs %v", per, rtt)
+	}
+}
+
+func TestReadDeadline(t *testing.T) {
+	c := echoPair(t, time.Millisecond, 0)
+	c.SetReadDeadline(time.Now().Add(10 * time.Millisecond)) //nolint:errcheck
+	buf := make([]byte, 8)
+	_, err := c.Read(buf)
+	if err != os.ErrDeadlineExceeded {
+		t.Errorf("err = %v, want deadline exceeded", err)
+	}
+	// Clearing the deadline restores blocking reads.
+	c.SetReadDeadline(time.Time{}) //nolint:errcheck
+	c.Write([]byte("x"))           //nolint:errcheck
+	if _, err := c.Read(buf); err != nil {
+		t.Errorf("read after clearing deadline: %v", err)
+	}
+}
+
+func TestCloseUnblocksRead(t *testing.T) {
+	c := echoPair(t, time.Millisecond, 0)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Read(make([]byte, 4))
+		errCh <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Error("read returned nil after close")
+		}
+	case <-time.After(time.Second):
+		t.Error("read did not unblock on close")
+	}
+}

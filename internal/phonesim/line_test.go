@@ -1,0 +1,159 @@
+package phonesim
+
+import (
+	"testing"
+
+	"audiofile/internal/dsp"
+	"audiofile/internal/sampleconv"
+)
+
+func drainKinds(l *Line) []Event { return l.DrainEvents() }
+
+func TestHookEvents(t *testing.T) {
+	l := NewLine(8000)
+	l.SetHook(true)
+	l.SetHook(true) // no duplicate event
+	l.SetHook(false)
+	evs := drainKinds(l)
+	if len(evs) != 2 || evs[0] != (Event{EvHook, 1}) || evs[1] != (Event{EvHook, 0}) {
+		t.Errorf("events = %+v", evs)
+	}
+	if l.OffHook() {
+		t.Error("OffHook after hang up")
+	}
+}
+
+func TestRingAndAnswer(t *testing.T) {
+	l := NewLine(8000)
+	l.RingPulse()
+	l.RingPulse()
+	if !l.Ringing() {
+		t.Fatal("not ringing")
+	}
+	l.SetHook(true) // answer
+	if l.Ringing() {
+		t.Error("still ringing after answer")
+	}
+	evs := drainKinds(l)
+	// ring on, ring on, hook off, ring off
+	want := []Event{{EvRing, 1}, {EvRing, 1}, {EvHook, 1}, {EvRing, 0}}
+	if len(evs) != len(want) {
+		t.Fatalf("events = %+v", evs)
+	}
+	for i := range want {
+		if evs[i] != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, evs[i], want[i])
+		}
+	}
+	// An answered line cannot ring.
+	l.RingPulse()
+	if len(drainKinds(l)) != 0 {
+		t.Error("ring pulse on answered line produced an event")
+	}
+}
+
+func TestStopRinging(t *testing.T) {
+	l := NewLine(8000)
+	l.RingPulse()
+	l.StopRinging()
+	evs := drainKinds(l)
+	if len(evs) != 2 || evs[1] != (Event{EvRing, 0}) {
+		t.Errorf("events = %+v", evs)
+	}
+	l.StopRinging() // idempotent
+	if len(drainKinds(l)) != 0 {
+		t.Error("second StopRinging produced an event")
+	}
+}
+
+func TestLoopCurrentEvents(t *testing.T) {
+	l := NewLine(8000)
+	l.SetExtensionHook(true)
+	if !l.LoopCurrent() {
+		t.Error("no loop current with extension off hook")
+	}
+	l.SetExtensionHook(false)
+	evs := drainKinds(l)
+	if len(evs) != 2 || evs[0] != (Event{EvLoop, 1}) || evs[1] != (Event{EvLoop, 0}) {
+		t.Errorf("events = %+v", evs)
+	}
+}
+
+func TestRemoteDigitsDetected(t *testing.T) {
+	l := NewLine(8000)
+	l.SetHook(true)
+	drainKinds(l)
+	l.RemoteDigits("42#")
+	evs := drainKinds(l)
+	var digits []byte
+	for _, ev := range evs {
+		if ev.Kind == EvDTMF {
+			digits = append(digits, ev.Detail)
+		}
+	}
+	if string(digits) != "42#" {
+		t.Errorf("decoded %q, want \"42#\"", digits)
+	}
+}
+
+func TestLocalDialingDetected(t *testing.T) {
+	// Audio played by the device (tone dialing) is decoded by the line.
+	l := NewLine(8000)
+	l.SetHook(true)
+	drainKinds(l)
+	lo, hi, _ := dsp.DTMFFreqs('7')
+	burst := synthPair(8000, lo, hi, 400)
+	sil := make([]byte, 400)
+	for i := range sil {
+		sil[i] = 0xFF
+	}
+	l.Play(0, burst)
+	l.Play(400, sil)
+	evs := drainKinds(l)
+	if len(evs) != 1 || evs[0].Kind != EvDTMF || evs[0].Detail != '7' {
+		t.Errorf("events = %+v, want one DTMF '7'", evs)
+	}
+}
+
+func TestRecordHearsRemoteAudioOnlyOffHook(t *testing.T) {
+	l := NewLine(8000)
+	tone := make([]byte, 64)
+	for i := range tone {
+		tone[i] = sampleconv.EncodeMuLaw(5000)
+	}
+	l.RemoteAudio(tone)
+	buf := make([]byte, 64)
+	l.Fill(0, buf) // on hook: silence, audio stays queued... until hangup
+	for i, b := range buf {
+		if b != 0xFF {
+			t.Fatalf("on-hook byte %d = %#x", i, b)
+		}
+	}
+	l.SetHook(true)
+	l.RemoteAudio(tone)
+	l.Fill(0, buf)
+	if buf[0] == 0xFF {
+		t.Error("off-hook record heard silence")
+	}
+	// Partial fill pads with silence.
+	big := make([]byte, 256)
+	l.Fill(0, big)
+	if big[255] != 0xFF {
+		t.Error("tail not padded with silence")
+	}
+}
+
+func TestHangupFlushesAudio(t *testing.T) {
+	l := NewLine(8000)
+	l.SetHook(true)
+	l.RemoteAudio(make([]byte, 100))
+	l.SetHook(false)
+	l.SetHook(true)
+	buf := make([]byte, 100)
+	l.Fill(0, buf)
+	for i, b := range buf {
+		if b != 0xFF {
+			t.Fatalf("stale audio survived hangup at %d: %#x", i, b)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package proto
+
+import (
+	"encoding/binary"
+	"io"
+)
+
+// Server-to-client messages.
+//
+// A reply is a 16-byte header plus padded extra data:
+//
+//	[1][data][seq:2][extraLen/4:4][time:4][aux:4] extra...
+//
+// Errors and events are fixed 32-byte messages distinguished by the first
+// byte (0 = error, otherwise the event code).
+
+// ReplyHeaderBytes is the fixed size of a reply header.
+const ReplyHeaderBytes = 16
+
+// EventBytes is the fixed size of error and event messages. "As in X,
+// events have a fixed size."
+const EventBytes = 32
+
+// Reply is a generic protocol reply. Time carries the device time for
+// audio requests (the paper returns device time from play and record as a
+// convenience); Aux carries a second 32-bit datum where a request needs
+// one; anything longer travels in Extra.
+type Reply struct {
+	Data  uint8
+	Seq   uint16
+	Time  uint32
+	Aux   uint32
+	Extra []byte
+}
+
+// Encode appends the reply to w.
+func (p *Reply) Encode(w *Writer) {
+	w.U8(MsgReply)
+	w.U8(p.Data)
+	w.U16(p.Seq)
+	w.U32(uint32(Pad4(len(p.Extra)) / 4))
+	w.U32(p.Time)
+	w.U32(p.Aux)
+	w.Bytes(p.Extra)
+	w.Pad()
+}
+
+// ErrorMsg is a protocol error message.
+type ErrorMsg struct {
+	Code     uint8
+	Seq      uint16
+	BadValue uint32
+	MajorOp  uint8
+}
+
+// Encode appends the error to w.
+func (e *ErrorMsg) Encode(w *Writer) {
+	w.U8(MsgError)
+	w.U8(e.Code)
+	w.U16(e.Seq)
+	w.U32(e.BadValue)
+	w.U8(e.MajorOp)
+	w.Skip(EventBytes - 9)
+}
+
+// Event is a protocol event. Per §5.2, all device events carry both the
+// audio device time and the server host's clock time, for synchronizing
+// with other media on the same host.
+type Event struct {
+	Code     uint8 // EventPhoneRing .. EventPropertyChange
+	Detail   uint8 // e.g. the DTMF digit, or hook/ring/loop state
+	Seq      uint16
+	Device   uint32
+	Time     uint32 // audio device time
+	HostSec  uint32 // server host clock
+	HostNsec uint32
+	Value    uint32 // e.g. the changed property atom
+}
+
+// Encode appends the event to w.
+func (e *Event) Encode(w *Writer) {
+	w.U8(e.Code)
+	w.U8(e.Detail)
+	w.U16(e.Seq)
+	w.U32(e.Device)
+	w.U32(e.Time)
+	w.U32(e.HostSec)
+	w.U32(e.HostNsec)
+	w.U32(e.Value)
+	w.Skip(EventBytes - 24)
+}
+
+// Message is one server-to-client message: exactly one of Reply, Error, or
+// Event is non-nil.
+type Message struct {
+	Reply *Reply
+	Error *ErrorMsg
+	Event *Event
+}
+
+// ReadMessage reads the next server-to-client message from the stream.
+func ReadMessage(rd io.Reader, order binary.ByteOrder) (*Message, error) {
+	var first [1]byte
+	if _, err := io.ReadFull(rd, first[:]); err != nil {
+		return nil, err
+	}
+	switch first[0] {
+	case MsgReply:
+		var hdr [ReplyHeaderBytes - 1]byte
+		if _, err := io.ReadFull(rd, hdr[:]); err != nil {
+			return nil, err
+		}
+		p := &Reply{
+			Data: hdr[0],
+			Seq:  order.Uint16(hdr[1:]),
+			Time: order.Uint32(hdr[7:]),
+			Aux:  order.Uint32(hdr[11:]),
+		}
+		extraLen := int(order.Uint32(hdr[3:])) * 4
+		if extraLen > 0 {
+			p.Extra = make([]byte, extraLen)
+			if _, err := io.ReadFull(rd, p.Extra); err != nil {
+				return nil, err
+			}
+		}
+		return &Message{Reply: p}, nil
+	case MsgError:
+		var rest [EventBytes - 1]byte
+		if _, err := io.ReadFull(rd, rest[:]); err != nil {
+			return nil, err
+		}
+		return &Message{Error: &ErrorMsg{
+			Code:     rest[0],
+			Seq:      order.Uint16(rest[1:]),
+			BadValue: order.Uint32(rest[3:]),
+			MajorOp:  rest[7],
+		}}, nil
+	default:
+		var rest [EventBytes - 1]byte
+		if _, err := io.ReadFull(rd, rest[:]); err != nil {
+			return nil, err
+		}
+		return &Message{Event: &Event{
+			Code:     first[0],
+			Detail:   rest[0],
+			Seq:      order.Uint16(rest[1:]),
+			Device:   order.Uint32(rest[3:]),
+			Time:     order.Uint32(rest[7:]),
+			HostSec:  order.Uint32(rest[11:]),
+			HostNsec: order.Uint32(rest[15:]),
+			Value:    order.Uint32(rest[19:]),
+		}}, nil
+	}
+}

@@ -1,0 +1,202 @@
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrShort reports a truncated or over-read message.
+var ErrShort = errors.New("proto: message too short")
+
+// OrderFor returns the binary.ByteOrder for a setup byte-order byte.
+func OrderFor(b byte) (binary.ByteOrder, error) {
+	switch b {
+	case LittleEndianOrder:
+		return binary.LittleEndian, nil
+	case BigEndianOrder:
+		return binary.BigEndian, nil
+	}
+	return nil, fmt.Errorf("proto: bad byte-order byte %#x", b)
+}
+
+// Writer serializes protocol messages in a chosen byte order. The zero
+// value with an Order set is ready to use; Buf grows as needed.
+type Writer struct {
+	Order binary.ByteOrder
+	Buf   []byte
+}
+
+// Reset truncates the buffer, retaining capacity.
+func (w *Writer) Reset() { w.Buf = w.Buf[:0] }
+
+// Len returns the number of bytes written.
+func (w *Writer) Len() int { return len(w.Buf) }
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.Buf = append(w.Buf, v) }
+
+// U16 appends a 16-bit value.
+func (w *Writer) U16(v uint16) {
+	var b [2]byte
+	w.Order.PutUint16(b[:], v)
+	w.Buf = append(w.Buf, b[:]...)
+}
+
+// U32 appends a 32-bit value.
+func (w *Writer) U32(v uint32) {
+	var b [4]byte
+	w.Order.PutUint32(b[:], v)
+	w.Buf = append(w.Buf, b[:]...)
+}
+
+// I16 appends a signed 16-bit value.
+func (w *Writer) I16(v int16) { w.U16(uint16(v)) }
+
+// I32 appends a signed 32-bit value.
+func (w *Writer) I32(v int32) { w.U32(uint32(v)) }
+
+// Bytes appends raw bytes.
+func (w *Writer) Bytes(b []byte) { w.Buf = append(w.Buf, b...) }
+
+// String4 appends a string padded with zero bytes to a 4-byte boundary.
+func (w *Writer) String4(s string) {
+	w.Buf = append(w.Buf, s...)
+	for len(w.Buf)%4 != 0 {
+		w.Buf = append(w.Buf, 0)
+	}
+}
+
+// Pad appends zero bytes to a 4-byte boundary.
+func (w *Writer) Pad() {
+	for len(w.Buf)%4 != 0 {
+		w.Buf = append(w.Buf, 0)
+	}
+}
+
+// Skip appends n zero bytes.
+func (w *Writer) Skip(n int) {
+	for i := 0; i < n; i++ {
+		w.Buf = append(w.Buf, 0)
+	}
+}
+
+// BeginRequest appends a request header with a length placeholder and
+// returns its offset for EndRequest.
+func (w *Writer) BeginRequest(op, ext uint8) int {
+	off := len(w.Buf)
+	w.U8(op)
+	w.U8(ext)
+	w.U16(0) // patched by EndRequest
+	return off
+}
+
+// EndRequest pads the request to a 32-bit boundary and patches the header
+// length field. It returns an error if the request exceeds the protocol
+// maximum.
+func (w *Writer) EndRequest(off int) error {
+	w.Pad()
+	n := len(w.Buf) - off
+	if n > MaxRequestBytes {
+		return fmt.Errorf("proto: request length %d exceeds maximum %d", n, MaxRequestBytes)
+	}
+	w.Order.PutUint16(w.Buf[off+2:off+4], uint16(n/4))
+	return nil
+}
+
+// Reader deserializes protocol messages. Reads past the end set a sticky
+// error and return zero values, so parse code can validate once at the end.
+type Reader struct {
+	Order binary.ByteOrder
+	Buf   []byte
+	Pos   int
+	Err   error
+}
+
+// NewReader returns a reader over buf in the given order.
+func NewReader(order binary.ByteOrder, buf []byte) *Reader {
+	return &Reader{Order: order, Buf: buf}
+}
+
+func (r *Reader) fail() {
+	if r.Err == nil {
+		r.Err = ErrShort
+	}
+}
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.Buf) - r.Pos }
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	if r.Err != nil || r.Pos+1 > len(r.Buf) {
+		r.fail()
+		return 0
+	}
+	v := r.Buf[r.Pos]
+	r.Pos++
+	return v
+}
+
+// U16 reads a 16-bit value.
+func (r *Reader) U16() uint16 {
+	if r.Err != nil || r.Pos+2 > len(r.Buf) {
+		r.fail()
+		return 0
+	}
+	v := r.Order.Uint16(r.Buf[r.Pos:])
+	r.Pos += 2
+	return v
+}
+
+// U32 reads a 32-bit value.
+func (r *Reader) U32() uint32 {
+	if r.Err != nil || r.Pos+4 > len(r.Buf) {
+		r.fail()
+		return 0
+	}
+	v := r.Order.Uint32(r.Buf[r.Pos:])
+	r.Pos += 4
+	return v
+}
+
+// I16 reads a signed 16-bit value.
+func (r *Reader) I16() int16 { return int16(r.U16()) }
+
+// I32 reads a signed 32-bit value.
+func (r *Reader) I32() int32 { return int32(r.U32()) }
+
+// BytesRef returns n bytes without copying; the slice aliases the buffer.
+func (r *Reader) BytesRef(n int) []byte {
+	if r.Err != nil || n < 0 || r.Pos+n > len(r.Buf) {
+		r.fail()
+		return nil
+	}
+	b := r.Buf[r.Pos : r.Pos+n]
+	r.Pos += n
+	return b
+}
+
+// String4 reads an n-byte string and skips its padding to a 4-byte
+// boundary.
+func (r *Reader) String4(n int) string {
+	b := r.BytesRef(n)
+	r.SkipPad()
+	return string(b)
+}
+
+// Skip advances past n bytes.
+func (r *Reader) Skip(n int) {
+	if r.Err != nil || n < 0 || r.Pos+n > len(r.Buf) {
+		r.fail()
+		return
+	}
+	r.Pos += n
+}
+
+// SkipPad advances to the next 4-byte boundary.
+func (r *Reader) SkipPad() {
+	for r.Pos%4 != 0 {
+		r.Skip(1)
+	}
+}

@@ -1,0 +1,114 @@
+// Package ring implements the circular, device-time-indexed sample buffers
+// at the heart of the AudioFile server: the ~4 second per-device play and
+// record buffers, and the small "hardware" rings inside the simulated audio
+// devices.
+//
+// A ring holds a fixed, power-of-two number of frames (a frame is one
+// sample tick across all channels). Frame f of the audio timeline lives at
+// ring offset f & (frames-1); because the capacity divides 2^32, the
+// mapping stays continuous when device time wraps, exactly like the
+// DSP56001 circular addressing the paper relies on.
+package ring
+
+import (
+	"fmt"
+
+	"audiofile/internal/atime"
+)
+
+// Ring is a time-indexed circular buffer of sample frames.
+type Ring struct {
+	buf        []byte
+	frames     uint32 // power of two
+	mask       uint32
+	frameBytes int
+}
+
+// RoundFrames rounds n up to the next power of two (minimum 2).
+func RoundFrames(n int) int {
+	p := 2
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// New creates a ring holding the given number of frames, each frameBytes
+// long. frames must be a power of two.
+func New(frames, frameBytes int) *Ring {
+	if frames <= 0 || frames&(frames-1) != 0 {
+		panic(fmt.Sprintf("ring: frames %d is not a power of two", frames))
+	}
+	if frameBytes <= 0 {
+		panic("ring: frameBytes must be positive")
+	}
+	return &Ring{
+		buf:        make([]byte, frames*frameBytes),
+		frames:     uint32(frames),
+		mask:       uint32(frames - 1),
+		frameBytes: frameBytes,
+	}
+}
+
+// Frames returns the ring capacity in frames.
+func (r *Ring) Frames() int { return int(r.frames) }
+
+// FrameBytes returns the size of one frame in bytes.
+func (r *Ring) FrameBytes() int { return r.frameBytes }
+
+// Bytes returns the total buffer size in bytes.
+func (r *Ring) Bytes() int { return len(r.buf) }
+
+// Region returns the storage for nframes frames starting at time t as at
+// most two contiguous byte slices (two when the region wraps the end of
+// the buffer). nframes must not exceed the ring capacity. The slices alias
+// the ring's storage: callers may read, overwrite, or mix in place.
+func (r *Ring) Region(t atime.ATime, nframes int) (a, b []byte) {
+	if nframes < 0 || uint32(nframes) > r.frames {
+		panic(fmt.Sprintf("ring: region of %d frames exceeds capacity %d", nframes, r.frames))
+	}
+	start := uint32(t) & r.mask
+	first := r.frames - start
+	if uint32(nframes) <= first {
+		off := int(start) * r.frameBytes
+		return r.buf[off : off+nframes*r.frameBytes], nil
+	}
+	off := int(start) * r.frameBytes
+	a = r.buf[off : off+int(first)*r.frameBytes]
+	b = r.buf[:(nframes-int(first))*r.frameBytes]
+	return a, b
+}
+
+// WriteAt copies frame data into the ring starting at time t. len(data)
+// must be a whole number of frames and at most the ring size.
+func (r *Ring) WriteAt(t atime.ATime, data []byte) {
+	n := len(data) / r.frameBytes
+	a, b := r.Region(t, n)
+	copy(a, data)
+	if b != nil {
+		copy(b, data[len(a):])
+	}
+}
+
+// ReadAt copies frame data out of the ring starting at time t into buf.
+// len(buf) must be a whole number of frames and at most the ring size.
+func (r *Ring) ReadAt(t atime.ATime, buf []byte) {
+	n := len(buf) / r.frameBytes
+	a, b := r.Region(t, n)
+	copy(buf, a)
+	if b != nil {
+		copy(buf[len(a):], b)
+	}
+}
+
+// Fill writes the byte value v over nframes frames starting at time t
+// (used for silence fill).
+func (r *Ring) Fill(t atime.ATime, nframes int, v byte) {
+	a, b := r.Region(t, nframes)
+	for i := range a {
+		a[i] = v
+	}
+	for i := range b {
+		b[i] = v
+	}
+}

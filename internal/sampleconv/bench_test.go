@@ -1,0 +1,114 @@
+package sampleconv
+
+import "testing"
+
+// Substrate benchmarks: the per-sample costs behind the server's mixing
+// and conversion paths (the Table 11 mixing penalty originates here).
+
+func benchBuf(n int) ([]byte, []byte) {
+	dst := make([]byte, n)
+	src := make([]byte, n)
+	for i := range src {
+		src[i] = byte(i*7 + 1)
+		dst[i] = byte(i * 3)
+	}
+	return dst, src
+}
+
+func BenchmarkMuLawDecode(b *testing.B) {
+	_, src := benchBuf(8192)
+	b.SetBytes(8192)
+	var sink int16
+	for i := 0; i < b.N; i++ {
+		for _, v := range src {
+			sink += DecodeMuLaw(v)
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkMuLawEncode(b *testing.B) {
+	b.SetBytes(8192)
+	var sink byte
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 8192; j++ {
+			sink += EncodeMuLaw(int16(j*7 - 28000))
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkMixMuLaw(b *testing.B) {
+	dst, src := benchBuf(8192)
+	b.SetBytes(8192)
+	for i := 0; i < b.N; i++ {
+		Mix(MU255, dst, src, 8192)
+	}
+}
+
+func BenchmarkMixLin16(b *testing.B) {
+	dst, src := benchBuf(16384)
+	b.SetBytes(16384)
+	for i := 0; i < b.N; i++ {
+		Mix(LIN16, dst, src, 8192)
+	}
+}
+
+func BenchmarkCopyFastPath(b *testing.B) {
+	dst, src := benchBuf(8192)
+	b.SetBytes(8192)
+	for i := 0; i < b.N; i++ {
+		Process(dst, MU255, src, MU255, 8192, 1.0, false)
+	}
+}
+
+func BenchmarkConvertMuToLin16(b *testing.B) {
+	_, src := benchBuf(8192)
+	dst := make([]byte, 16384)
+	b.SetBytes(8192)
+	for i := 0; i < b.N; i++ {
+		Convert(dst, LIN16, src, MU255, 8192)
+	}
+}
+
+func BenchmarkGainMuLaw(b *testing.B) {
+	dst, _ := benchBuf(8192)
+	b.SetBytes(8192)
+	for i := 0; i < b.N; i++ {
+		ApplyGain(MU255, dst, 8192, 0.5)
+	}
+}
+
+func BenchmarkADPCMEncode(b *testing.B) {
+	src := make([]int16, 8192)
+	for i := range src {
+		src[i] = int16(i*13 - 28000)
+	}
+	dst := make([]byte, 4096)
+	b.SetBytes(8192)
+	var c ADPCMCoder
+	for i := 0; i < b.N; i++ {
+		c.Encode(dst, src)
+	}
+}
+
+func BenchmarkADPCMDecode(b *testing.B) {
+	src := make([]byte, 4096)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	dst := make([]int16, 8192)
+	b.SetBytes(8192)
+	var c ADPCMCoder
+	for i := 0; i < b.N; i++ {
+		c.Decode(dst, src)
+	}
+}
+
+func BenchmarkSwapBytesLin16(b *testing.B) {
+	dst, _ := benchBuf(16384)
+	b.SetBytes(16384)
+	for i := 0; i < b.N; i++ {
+		SwapBytes(LIN16, dst)
+	}
+}

@@ -1,0 +1,143 @@
+package sampleconv
+
+import "encoding/binary"
+
+// Sample data in wire and buffer form is a flat byte slice. Multi-byte
+// linear samples are stored little-endian inside the server; requests from
+// big-endian clients are byte-swapped on ingest and egress (see SwapBytes).
+
+// SwapBytes reverses the byte order of every multi-byte sample unit in buf,
+// in place. It is a no-op for 8-bit encodings.
+func SwapBytes(e Encoding, buf []byte) {
+	switch Sizes[e].BytesPerUnit {
+	case 2:
+		for i := 0; i+1 < len(buf); i += 2 {
+			buf[i], buf[i+1] = buf[i+1], buf[i]
+		}
+	case 4:
+		for i := 0; i+3 < len(buf); i += 4 {
+			buf[i], buf[i+3] = buf[i+3], buf[i]
+			buf[i+1], buf[i+2] = buf[i+2], buf[i+1]
+		}
+	}
+}
+
+// decode16 reads the sample unit at index i of buf (native little-endian)
+// and returns it in the 16-bit linear domain.
+func decode16(e Encoding, buf []byte, i int) int {
+	switch e {
+	case MU255:
+		return int(MuToLin[buf[i]])
+	case ALAW:
+		return int(AToLin[buf[i]])
+	case LIN16:
+		return int(int16(binary.LittleEndian.Uint16(buf[2*i:])))
+	case LIN32:
+		return int(int32(binary.LittleEndian.Uint32(buf[4*i:])) >> 16)
+	}
+	return 0
+}
+
+// encode16 writes a 16-bit-domain linear value as sample i of buf.
+func encode16(e Encoding, buf []byte, i int, v int) {
+	s := Clamp16(v)
+	switch e {
+	case MU255:
+		buf[i] = EncodeMuLaw(s)
+	case ALAW:
+		buf[i] = EncodeALaw(s)
+	case LIN16:
+		binary.LittleEndian.PutUint16(buf[2*i:], uint16(s))
+	case LIN32:
+		binary.LittleEndian.PutUint32(buf[4*i:], uint32(int32(s)<<16))
+	}
+}
+
+// DecodeSample reads sample unit i of buf (native little-endian) in the
+// 16-bit linear domain. It is the per-sample primitive the server's mono
+// channel views use to address one channel inside interleaved frames.
+func DecodeSample(e Encoding, buf []byte, i int) int { return decode16(e, buf, i) }
+
+// EncodeSample writes a 16-bit-domain linear value as sample unit i of
+// buf, saturating.
+func EncodeSample(e Encoding, buf []byte, i int, v int) { encode16(e, buf, i, v) }
+
+// Process implements the server's per-request sample pipeline: decode
+// nsamples of src (encoding srcEnc) to linear, scale by gain, convert to
+// dstEnc, and either mix into dst (saturating add with the existing
+// contents) or copy over it (preemptive play). dst and src must hold at
+// least nsamples in their respective encodings. It returns the number of
+// samples processed.
+//
+// Gain is a linear multiplier (1.0 = 0 dB). The common fast path — same
+// encoding, unity gain, preemptive — is a plain copy.
+func Process(dst []byte, dstEnc Encoding, src []byte, srcEnc Encoding, nsamples int, gain float64, mix bool) int {
+	if nsamples <= 0 {
+		return 0
+	}
+	if !mix && gain == 1.0 && dstEnc == srcEnc {
+		n := dstEnc.BytesPerSamples(nsamples)
+		copy(dst[:n], src[:n])
+		return nsamples
+	}
+	if !mix && gain == 1.0 && srcEnc == MU255 && dstEnc == ALAW {
+		for i := 0; i < nsamples; i++ {
+			dst[i] = MuToA[src[i]]
+		}
+		return nsamples
+	}
+	if !mix && gain == 1.0 && srcEnc == ALAW && dstEnc == MU255 {
+		for i := 0; i < nsamples; i++ {
+			dst[i] = AToMu[src[i]]
+		}
+		return nsamples
+	}
+	for i := 0; i < nsamples; i++ {
+		v := decode16(srcEnc, src, i)
+		if gain != 1.0 {
+			v = int(float64(v) * gain)
+		}
+		if mix {
+			v += decode16(dstEnc, dst, i)
+		}
+		encode16(dstEnc, dst, i, v)
+	}
+	return nsamples
+}
+
+// Convert translates nsamples from srcEnc to dstEnc with unity gain,
+// overwriting dst. It is Process without mixing.
+func Convert(dst []byte, dstEnc Encoding, src []byte, srcEnc Encoding, nsamples int) int {
+	return Process(dst, dstEnc, src, srcEnc, nsamples, 1.0, false)
+}
+
+// Mix mixes nsamples of src into dst, both in encoding e, saturating in
+// the linear domain (the paper's AF_mix_u / AF_mix_a behaviour).
+func Mix(e Encoding, dst, src []byte, nsamples int) {
+	Process(dst, e, src, e, nsamples, 1.0, true)
+}
+
+// ApplyGain scales nsamples of buf (encoding e) by a linear gain factor in
+// place.
+func ApplyGain(e Encoding, buf []byte, nsamples int, gain float64) {
+	if gain == 1.0 {
+		return
+	}
+	for i := 0; i < nsamples; i++ {
+		encode16(e, buf, i, int(float64(decode16(e, buf, i))*gain))
+	}
+}
+
+// ToLin16 decodes nsamples of src into dst as 16-bit-domain linear values.
+func ToLin16(dst []int16, src []byte, e Encoding, nsamples int) {
+	for i := 0; i < nsamples; i++ {
+		dst[i] = int16(decode16(e, src, i))
+	}
+}
+
+// FromLin16 encodes nsamples of linear values into dst in encoding e.
+func FromLin16(dst []byte, e Encoding, src []int16, nsamples int) {
+	for i := 0; i < nsamples; i++ {
+		encode16(e, dst, i, int(src[i]))
+	}
+}

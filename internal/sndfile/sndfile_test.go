@@ -1,0 +1,171 @@
+package sndfile
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"audiofile/internal/sampleconv"
+)
+
+func sample(enc sampleconv.Encoding, rate, ch, frames int) *Sound {
+	fb := enc.BytesPerSamples(1) * ch
+	data := make([]byte, frames*fb)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	return &Sound{Info: Info{Encoding: enc, Rate: rate, Channels: ch}, Data: data}
+}
+
+func TestAURoundTrip(t *testing.T) {
+	for _, enc := range []sampleconv.Encoding{sampleconv.MU255, sampleconv.ALAW, sampleconv.LIN16, sampleconv.LIN32} {
+		s := sample(enc, 8000, 1, 64)
+		var buf bytes.Buffer
+		if err := WriteAU(&buf, s); err != nil {
+			t.Fatalf("%v: %v", enc, err)
+		}
+		got, err := ReadAU(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%v: %v", enc, err)
+		}
+		if got.Encoding != enc || got.Rate != 8000 || got.Channels != 1 {
+			t.Errorf("%v: info = %+v", enc, got.Info)
+		}
+		if !bytes.Equal(got.Data, s.Data) {
+			t.Errorf("%v: data mismatch", enc)
+		}
+	}
+}
+
+func TestWAVRoundTrip(t *testing.T) {
+	for _, enc := range []sampleconv.Encoding{sampleconv.MU255, sampleconv.ALAW, sampleconv.LIN16, sampleconv.LIN32} {
+		s := sample(enc, 44100, 2, 64)
+		var buf bytes.Buffer
+		if err := WriteWAV(&buf, s); err != nil {
+			t.Fatalf("%v: %v", enc, err)
+		}
+		got, err := ReadWAV(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("%v: %v", enc, err)
+		}
+		if got.Encoding != enc || got.Rate != 44100 || got.Channels != 2 {
+			t.Errorf("%v: info = %+v", enc, got.Info)
+		}
+		if !bytes.Equal(got.Data, s.Data) {
+			t.Errorf("%v: data mismatch", enc)
+		}
+	}
+}
+
+func TestSniff(t *testing.T) {
+	s := sample(sampleconv.MU255, 8000, 1, 32)
+	var au, wav bytes.Buffer
+	WriteAU(&au, s)
+	WriteWAV(&wav, s)
+	got, err := Read(bytes.NewReader(au.Bytes()))
+	if err != nil || got.Encoding != sampleconv.MU255 {
+		t.Errorf("AU sniff: %v %v", got, err)
+	}
+	got, err = Read(bytes.NewReader(wav.Bytes()))
+	if err != nil || got.Encoding != sampleconv.MU255 {
+		t.Errorf("WAV sniff: %v %v", got, err)
+	}
+	if _, err := Read(bytes.NewReader([]byte("rawwwdataaa"))); err != ErrUnknownFormat {
+		t.Errorf("raw sniff err = %v", err)
+	}
+}
+
+func TestFramesAndDuration(t *testing.T) {
+	s := sample(sampleconv.LIN16, 8000, 2, 4000)
+	if s.Frames() != 4000 {
+		t.Errorf("Frames = %d", s.Frames())
+	}
+	if s.Duration() != 0.5 {
+		t.Errorf("Duration = %g", s.Duration())
+	}
+}
+
+func TestWAVSkipsUnknownChunks(t *testing.T) {
+	s := sample(sampleconv.LIN16, 8000, 1, 16)
+	var buf bytes.Buffer
+	WriteWAV(&buf, s)
+	// Splice a LIST chunk between fmt and data.
+	raw := buf.Bytes()
+	var out bytes.Buffer
+	out.Write(raw[:36])
+	out.Write([]byte{'L', 'I', 'S', 'T', 5, 0, 0, 0, 'x', 'y', 'z', 'z', 'y', 0}) // odd size + pad
+	out.Write(raw[36:])
+	// Fix the RIFF size.
+	b := out.Bytes()
+	b[4] = byte(len(b) - 8)
+	got, err := ReadWAV(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Data, s.Data) {
+		t.Error("data corrupted by chunk skipping")
+	}
+}
+
+func TestTruncatedFiles(t *testing.T) {
+	s := sample(sampleconv.LIN16, 8000, 1, 64)
+	var au bytes.Buffer
+	WriteAU(&au, s)
+	for _, n := range []int{0, 3, 10, 30} {
+		if _, err := ReadAU(bytes.NewReader(au.Bytes()[:n])); err == nil {
+			t.Errorf("truncated AU (%d bytes) did not error", n)
+		}
+	}
+	var wav bytes.Buffer
+	WriteWAV(&wav, s)
+	for _, n := range []int{0, 3, 11, 20, 43} {
+		if _, err := ReadWAV(bytes.NewReader(wav.Bytes()[:n])); err == nil {
+			t.Errorf("truncated WAV (%d bytes) did not error", n)
+		}
+	}
+}
+
+func TestBadHeaders(t *testing.T) {
+	if _, err := ReadAU(bytes.NewReader(make([]byte, 64))); err != ErrUnknownFormat {
+		t.Errorf("zero AU header err = %v", err)
+	}
+	if _, err := ReadWAV(bytes.NewReader(make([]byte, 64))); err != ErrUnknownFormat {
+		t.Errorf("zero WAV header err = %v", err)
+	}
+}
+
+// Property: arbitrary byte payloads survive an AU round trip for µ-law.
+func TestQuickAUPayload(t *testing.T) {
+	f := func(data []byte) bool {
+		s := &Sound{Info: Info{Encoding: sampleconv.MU255, Rate: 8000, Channels: 1}, Data: data}
+		var buf bytes.Buffer
+		if err := WriteAU(&buf, s); err != nil {
+			return false
+		}
+		got, err := ReadAU(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got.Data, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: fuzzing the readers never panics.
+func TestQuickNoPanic(t *testing.T) {
+	f := func(data []byte) bool {
+		defer func() {
+			if recover() != nil {
+				t.Fatal("reader panicked")
+			}
+		}()
+		ReadAU(bytes.NewReader(data))  //nolint:errcheck
+		ReadWAV(bytes.NewReader(data)) //nolint:errcheck
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,322 @@
+package vdev
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"audiofile/internal/atime"
+	"audiofile/internal/sampleconv"
+)
+
+func newTestDevice(clk *ManualClock, sink PlaySink, src RecordSource) *Device {
+	return New(Config{
+		Name: "codec0", Rate: 8000, Enc: sampleconv.MU255, Channels: 1,
+		HWFrames: 64, Clock: clk, Sink: sink, Source: src,
+	})
+}
+
+func TestManualClock(t *testing.T) {
+	c := NewManualClock(8000)
+	if c.Ticks() != 0 || c.Rate() != 8000 {
+		t.Fatal("bad initial clock state")
+	}
+	c.Advance(100)
+	if c.Ticks() != 100 {
+		t.Errorf("Ticks = %d, want 100", c.Ticks())
+	}
+	c.Set(5)
+	if c.Ticks() != 5 {
+		t.Errorf("after Set, Ticks = %d", c.Ticks())
+	}
+}
+
+func TestRealClockAdvances(t *testing.T) {
+	c := NewRealClock(8000, 0)
+	t0 := c.Ticks()
+	time.Sleep(20 * time.Millisecond)
+	t1 := c.Ticks()
+	d := atime.Sub(t1, t0)
+	// 20 ms at 8 kHz is 160 ticks; allow generous scheduling slop.
+	if d < 100 || d > 8000 {
+		t.Errorf("real clock advanced %d ticks over 20ms, want ~160", d)
+	}
+}
+
+func TestRealClockSkew(t *testing.T) {
+	fast := NewRealClock(1000000, 100000) // 10% fast for a visible effect
+	slow := NewRealClock(1000000, 0)
+	time.Sleep(10 * time.Millisecond)
+	df := uint32(fast.Ticks())
+	ds := uint32(slow.Ticks())
+	if df <= ds {
+		t.Errorf("skewed clock not faster: fast=%d slow=%d", df, ds)
+	}
+}
+
+func TestDeviceAttributes(t *testing.T) {
+	d := newTestDevice(NewManualClock(8000), nil, nil)
+	if d.Name() != "codec0" || d.Rate() != 8000 || d.Encoding() != sampleconv.MU255 ||
+		d.Channels() != 1 || d.FrameBytes() != 1 || d.HWFrames() != 64 {
+		t.Errorf("bad attributes: %s %d %v %d %d %d",
+			d.Name(), d.Rate(), d.Encoding(), d.Channels(), d.FrameBytes(), d.HWFrames())
+	}
+}
+
+func TestPlayReachesSink(t *testing.T) {
+	clk := NewManualClock(8000)
+	sink := &CaptureSink{}
+	d := newTestDevice(clk, sink, nil)
+	data := []byte{1, 2, 3, 4}
+	if n := d.WritePlay(0, data); n != 4 {
+		t.Fatalf("WritePlay accepted %d, want 4", n)
+	}
+	clk.Advance(4)
+	d.Sync()
+	got, start := sink.Bytes()
+	if start != 0 || !bytes.Equal(got, data) {
+		t.Errorf("sink got %v at %d, want %v at 0", got, start, data)
+	}
+	played, silent, rec := d.Stats()
+	if played != 4 || silent != 0 || rec != 4 {
+		t.Errorf("stats = %d/%d/%d, want 4/0/4", played, silent, rec)
+	}
+}
+
+func TestUnfedDeviceEmitsSilence(t *testing.T) {
+	clk := NewManualClock(8000)
+	sink := &CaptureSink{}
+	d := newTestDevice(clk, sink, nil)
+	clk.Advance(10)
+	d.Sync()
+	got, _ := sink.Bytes()
+	for i, b := range got {
+		if b != 0xFF { // µ-law silence
+			t.Fatalf("byte %d = %#x, want µ-law silence 0xff", i, b)
+		}
+	}
+	played, silent, _ := d.Stats()
+	if played != 0 || silent != 10 {
+		t.Errorf("stats played/silent = %d/%d, want 0/10", played, silent)
+	}
+}
+
+func TestConsumedRegionBackfilled(t *testing.T) {
+	clk := NewManualClock(8000)
+	sink := &CaptureSink{}
+	d := newTestDevice(clk, sink, nil)
+	d.WritePlay(0, []byte{1, 2, 3, 4})
+	clk.Advance(4)
+	d.Sync()
+	// Advance a whole ring revolution: the same slots must now be silence.
+	clk.Advance(64)
+	d.Sync()
+	got, _ := sink.Bytes()
+	for i := 4; i < len(got); i++ {
+		if got[i] != 0xFF {
+			t.Fatalf("stale data at %d: %#x", i, got[i])
+		}
+	}
+}
+
+func TestWritePlayClipsPast(t *testing.T) {
+	clk := NewManualClock(8000)
+	sink := &CaptureSink{}
+	d := newTestDevice(clk, sink, nil)
+	clk.Advance(10)
+	d.Sync()
+	// Write 6 frames starting 4 in the past: only frames 10,11 survive.
+	n := d.WritePlay(6, []byte{1, 2, 3, 4, 5, 6})
+	if n != 2 {
+		t.Fatalf("accepted %d frames, want 2", n)
+	}
+	clk.Advance(2)
+	d.Sync()
+	got, _ := sink.Bytes()
+	want := append(bytes.Repeat([]byte{0xFF}, 10), 5, 6)
+	if !bytes.Equal(got, want) {
+		t.Errorf("sink got %v, want %v", got, want)
+	}
+}
+
+func TestWritePlayClipsFuture(t *testing.T) {
+	clk := NewManualClock(8000)
+	d := newTestDevice(clk, nil, nil)
+	// Ring is 64 frames; a 100-frame write is clipped to 64.
+	if n := d.WritePlay(0, make([]byte, 100)); n != 64 {
+		t.Errorf("accepted %d frames, want 64", n)
+	}
+	// A write entirely beyond the horizon is rejected.
+	if n := d.WritePlay(64, []byte{1}); n != 0 {
+		t.Errorf("beyond-horizon write accepted %d frames", n)
+	}
+}
+
+func TestRecordFromSource(t *testing.T) {
+	clk := NewManualClock(8000)
+	var counter byte
+	src := FuncSource(func(_ atime.ATime, buf []byte) {
+		for i := range buf {
+			counter++
+			buf[i] = counter
+		}
+	})
+	d := newTestDevice(clk, nil, src)
+	clk.Advance(8)
+	d.Sync()
+	buf := make([]byte, 8)
+	if n := d.ReadRecord(0, buf); n != 8 {
+		t.Fatalf("ReadRecord valid = %d, want 8", n)
+	}
+	want := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if !bytes.Equal(buf, want) {
+		t.Errorf("recorded %v, want %v", buf, want)
+	}
+}
+
+func TestRecordOutsideWindowIsSilence(t *testing.T) {
+	clk := NewManualClock(8000)
+	d := newTestDevice(clk, nil, SineSource{Freq: 1000, Amp: 10000, Rate: 8000, Enc: sampleconv.MU255, Ch: 1})
+	clk.Advance(200) // more than the 64-frame ring
+	d.Sync()
+	buf := make([]byte, 4)
+	// Too old.
+	if n := d.ReadRecord(0, buf); n != 0 {
+		t.Errorf("too-old read valid = %d, want 0", n)
+	}
+	for _, b := range buf {
+		if b != 0xFF {
+			t.Errorf("too-old read returned %#x, want silence", b)
+		}
+	}
+	// Future.
+	if n := d.ReadRecord(300, buf); n != 0 {
+		t.Errorf("future read valid = %d, want 0", n)
+	}
+}
+
+func TestSineSourceDeterministic(t *testing.T) {
+	s := SineSource{Freq: 440, Amp: 8000, Rate: 8000, Enc: sampleconv.LIN16, Ch: 2}
+	a := make([]byte, 64)
+	b := make([]byte, 64)
+	s.Fill(100, a)
+	s.Fill(100, b)
+	if !bytes.Equal(a, b) {
+		t.Error("SineSource not deterministic for same time")
+	}
+	// Stereo: both channels identical.
+	if a[0] != a[2] || a[1] != a[3] {
+		t.Error("stereo channels differ")
+	}
+}
+
+func TestLoopbackPath(t *testing.T) {
+	clk := NewManualClock(8000)
+	lb := NewLoopback(256, 1, 0, 0xFF)
+	d := New(Config{
+		Name: "loop", Rate: 8000, Enc: sampleconv.MU255, Channels: 1,
+		HWFrames: 64, Clock: clk, Sink: lb, Source: lb,
+	})
+	data := []byte{10, 20, 30, 40}
+	d.WritePlay(0, data)
+	clk.Advance(4)
+	d.Sync()
+	buf := make([]byte, 4)
+	d.ReadRecord(0, buf)
+	if !bytes.Equal(buf, data) {
+		t.Errorf("loopback recorded %v, want %v", buf, data)
+	}
+}
+
+func TestLoopbackDelay(t *testing.T) {
+	clk := NewManualClock(8000)
+	lb := NewLoopback(256, 1, 2, 0xFF)
+	d := New(Config{
+		Name: "loop", Rate: 8000, Enc: sampleconv.MU255, Channels: 1,
+		HWFrames: 64, Clock: clk, Sink: lb, Source: lb,
+	})
+	d.WritePlay(0, []byte{10, 20, 30, 40})
+	clk.Advance(6)
+	d.Sync()
+	buf := make([]byte, 6)
+	d.ReadRecord(0, buf)
+	want := []byte{0xFF, 0xFF, 10, 20, 30, 40}
+	if !bytes.Equal(buf, want) {
+		t.Errorf("delayed loopback recorded %v, want %v", buf, want)
+	}
+}
+
+func TestSyncAcrossLargeGap(t *testing.T) {
+	// Advancing far beyond the hardware ring must not wedge or corrupt.
+	clk := NewManualClock(8000)
+	sink := &CaptureSink{Max: 128}
+	d := newTestDevice(clk, sink, nil)
+	clk.Advance(1000)
+	d.Sync()
+	if d.Now() != 1000 {
+		t.Errorf("Now = %d, want 1000", d.Now())
+	}
+	_, silent, rec := d.Stats()
+	if silent != 1000 || rec != 1000 {
+		t.Errorf("stats silent/rec = %d/%d, want 1000/1000", silent, rec)
+	}
+}
+
+func TestTimeSyncs(t *testing.T) {
+	clk := NewManualClock(8000)
+	d := newTestDevice(clk, nil, nil)
+	clk.Advance(42)
+	if got := d.Time(); got != 42 {
+		t.Errorf("Time = %d, want 42", got)
+	}
+}
+
+func TestFuncSinkAndSource(t *testing.T) {
+	var sunk []byte
+	sink := FuncSink(func(_ atime.ATime, data []byte) {
+		sunk = append(sunk, data...)
+	})
+	src := FuncSource(func(_ atime.ATime, buf []byte) {
+		for i := range buf {
+			buf[i] = 0x42
+		}
+	})
+	clk := NewManualClock(8000)
+	d := newTestDevice(clk, sink, src)
+	d.WritePlay(0, []byte{1, 2, 3})
+	clk.Advance(3)
+	d.Sync()
+	if !bytes.Equal(sunk, []byte{1, 2, 3}) {
+		t.Errorf("FuncSink got %v", sunk)
+	}
+	buf := make([]byte, 3)
+	d.ReadRecord(0, buf)
+	if !bytes.Equal(buf, []byte{0x42, 0x42, 0x42}) {
+		t.Errorf("FuncSource gave %v", buf)
+	}
+}
+
+func TestCaptureSinkMax(t *testing.T) {
+	s := &CaptureSink{Max: 8}
+	s.Play(0, []byte{1, 2, 3, 4, 5, 6})
+	s.Play(6, []byte{7, 8, 9, 10})
+	got, start := s.Bytes()
+	if len(got) != 8 {
+		t.Fatalf("kept %d bytes, want 8", len(got))
+	}
+	if !bytes.Equal(got, []byte{3, 4, 5, 6, 7, 8, 9, 10}) {
+		t.Errorf("kept %v", got)
+	}
+	if start != 2 {
+		t.Errorf("start = %d, want 2", start)
+	}
+}
+
+func TestDeviceConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad config did not panic")
+		}
+	}()
+	New(Config{Rate: 0, Channels: 1})
+}
