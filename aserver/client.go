@@ -53,6 +53,10 @@ type parked struct {
 	playData []byte
 	playTime uint32
 	playEnc  sampleconv.Encoding
+	// playPooled is set when playData aliases a pool-owned staging buffer
+	// (the ADPCM decompression output); it returns to the pool when the
+	// parked play finally completes.
+	playPooled *[]byte
 	// record state is re-derived from the request on each retry
 }
 
@@ -63,7 +67,7 @@ type client struct {
 	order binary.ByteOrder
 	seq   uint16
 
-	outCh  chan []byte
+	outCh  chan *[]byte
 	closed chan struct{}
 
 	acs        map[uint32]*ac
@@ -128,7 +132,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		s:          s,
 		conn:       conn,
 		order:      order,
-		outCh:      make(chan []byte, outQueueDepth),
+		outCh:      make(chan *[]byte, outQueueDepth),
 		closed:     make(chan struct{}),
 		acs:        make(map[uint32]*ac),
 		eventMasks: make(map[int]uint32),
@@ -181,12 +185,13 @@ func (c *client) reader() {
 }
 
 // writer drains the outgoing queue onto the wire until the loop closes
-// the client (c.closed).
+// the client (c.closed). Message buffers return to the pool once their
+// bytes have been handed to the bufio layer (which copies).
 func (c *client) writer() {
 	bw := bufio.NewWriterSize(c.conn, 64<<10)
 	defer c.conn.Close()
 	for {
-		var msg []byte
+		var msg *[]byte
 		select {
 		case msg = <-c.outCh:
 		case <-c.closed:
@@ -194,7 +199,8 @@ func (c *client) writer() {
 			for {
 				select {
 				case msg = <-c.outCh:
-					bw.Write(msg) //nolint:errcheck
+					bw.Write(*msg) //nolint:errcheck
+					putMsg(msg)
 					continue
 				default:
 				}
@@ -203,14 +209,18 @@ func (c *client) writer() {
 			bw.Flush() //nolint:errcheck
 			return
 		}
-		if _, err := bw.Write(msg); err != nil {
+		_, err := bw.Write(*msg)
+		putMsg(msg)
+		if err != nil {
 			return
 		}
 		// Coalesce whatever else is queued before flushing.
 		for {
 			select {
 			case more := <-c.outCh:
-				if _, err := bw.Write(more); err != nil {
+				_, err := bw.Write(*more)
+				putMsg(more)
+				if err != nil {
 					return
 				}
 				continue
@@ -225,15 +235,18 @@ func (c *client) writer() {
 }
 
 // send queues a marshaled message; it reports false (and abandons the
-// client) if the queue is full.
-func (c *client) send(msg []byte) bool {
+// client) if the queue is full. Ownership of msg passes to the writer
+// goroutine on success and back to the pool on failure.
+func (c *client) send(msg *[]byte) bool {
 	if c.gone {
+		putMsg(msg)
 		return false
 	}
 	select {
 	case c.outCh <- msg:
 		return true
 	default:
+		putMsg(msg)
 		c.s.logf("aserver: client %v output queue overflow, dropping connection", c.conn.RemoteAddr())
 		c.s.dropClient(c)
 		return false
@@ -243,23 +256,29 @@ func (c *client) send(msg []byte) bool {
 // sendReply marshals and queues a reply.
 func (c *client) sendReply(p *proto.Reply) {
 	p.Seq = c.seq
-	w := proto.Writer{Order: c.order}
+	m := getMsg()
+	w := proto.Writer{Order: c.order, Buf: *m}
 	p.Encode(&w)
-	c.send(w.Buf)
+	*m = w.Buf
+	c.send(m)
 }
 
 // sendError marshals and queues a protocol error for the current request.
 func (c *client) sendError(code uint8, badValue uint32, op uint8) {
 	e := proto.ErrorMsg{Code: code, Seq: c.seq, BadValue: badValue, MajorOp: op}
-	w := proto.Writer{Order: c.order}
+	m := getMsg()
+	w := proto.Writer{Order: c.order, Buf: *m}
 	e.Encode(&w)
-	c.send(w.Buf)
+	*m = w.Buf
+	c.send(m)
 }
 
 // sendEvent marshals and queues an event.
 func (c *client) sendEvent(ev *proto.Event) {
 	ev.Seq = c.seq
-	w := proto.Writer{Order: c.order}
+	m := getMsg()
+	w := proto.Writer{Order: c.order, Buf: *m}
 	ev.Encode(&w)
-	c.send(w.Buf)
+	*m = w.Buf
+	c.send(m)
 }

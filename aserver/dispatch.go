@@ -437,27 +437,37 @@ func (s *Server) handlePlay(c *client, req *request, q proto.PlaySamplesReq) {
 	if q.Flags&proto.SampleFlagBigEndian != 0 {
 		sampleconv.SwapBytes(enc, data) // data aliases the request body, which we own
 	}
+	var staged *[]byte // pool-owned decompression output, if any
 	if enc == sampleconv.ADPCM4 {
 		// Conversion module: decompress the stream before the buffering
-		// engine sees it. State carries across requests.
-		lin := make([]int16, 2*len(data))
-		a.playCoder.Decode(lin, data)
-		raw := make([]byte, 2*len(lin))
-		sampleconv.FromLin16(raw, sampleconv.LIN16, lin, len(lin))
-		data, enc = raw, sampleconv.LIN16
+		// engine sees it. State carries across requests. Both staging
+		// buffers come from the pools; the lin16 scratch returns as soon
+		// as it has been re-encoded to bytes.
+		nlin := 2 * len(data)
+		linp := getLin(nlin)
+		a.playCoder.Decode(*linp, data)
+		staged = getBytes(2 * nlin)
+		sampleconv.FromLin16(*staged, sampleconv.LIN16, *linp, nlin)
+		putLin(linp)
+		data, enc = *staged, sampleconv.LIN16
 	}
 	res := a.dev.Play(atime.ATime(q.Time), data, enc, a.playGain, a.preempt)
 	if res.Blocked {
 		// The tail lies beyond the buffer horizon: block the connection
-		// until time advances (§6.1.5 "Beyond near future").
+		// until time advances (§6.1.5 "Beyond near future"). A pooled
+		// staging buffer stays checked out while the park references it.
 		cfb := enc.BytesPerSamples(1) * a.channels
 		c.park = &parked{
-			req:      req,
-			playData: data[res.Consumed*cfb:],
-			playTime: uint32(atime.Add(atime.ATime(q.Time), res.Consumed)),
-			playEnc:  enc,
+			req:        req,
+			playData:   data[res.Consumed*cfb:],
+			playTime:   uint32(atime.Add(atime.ATime(q.Time), res.Consumed)),
+			playEnc:    enc,
+			playPooled: staged,
 		}
 		return
+	}
+	if staged != nil {
+		putBytes(staged)
 	}
 	if q.Flags&proto.SampleFlagSuppressReply == 0 {
 		c.sendReply(&proto.Reply{Time: uint32(res.Now)})
@@ -490,14 +500,16 @@ func (s *Server) handleRecord(c *client, req *request, q proto.RecordSamplesReq)
 	}
 	cfb := a.clientFrameBytes()
 	want := int(q.NBytes) / cfb
-	dst := make([]byte, want*cfb)
-	res := a.dev.Record(atime.ATime(q.Time), dst, a.enc, a.recGain)
+	dstp := getBytes(want * cfb)
+	res := a.dev.Record(atime.ATime(q.Time), *dstp, a.enc, a.recGain)
 	if res.Avail < want && q.Flags&proto.SampleFlagNoBlock == 0 {
 		// Blocking record: the connection waits until all requested data
 		// has been captured. Schedule a precise wake-up task for the
 		// moment the last sample will exist, rather than waiting for the
 		// next periodic update — real-time clients (apass) depend on the
-		// resume latency being small.
+		// resume latency being small. The staging buffer returns to the
+		// pool; the retry checks one out again.
+		putBytes(dstp)
 		p := &parked{req: req}
 		c.park = p
 		end := atime.Add(atime.ATime(q.Time), want)
@@ -512,7 +524,8 @@ func (s *Server) handleRecord(c *client, req *request, q proto.RecordSamplesReq)
 		}
 		return
 	}
-	s.sendRecordReply(c, a, q, dst[:res.Avail*cfb], res.Now)
+	s.sendRecordReply(c, a, q, (*dstp)[:res.Avail*cfb], res.Now)
+	putBytes(dstp) // reply marshaling copied the data
 }
 
 func (s *Server) sendRecordReply(c *client, a *ac, q proto.RecordSamplesReq, data []byte, now atime.ATime) {
@@ -528,9 +541,10 @@ func (s *Server) sendRecordReply(c *client, a *ac, q proto.RecordSamplesReq, dat
 func (s *Server) handleRecordADPCM(c *client, req *request, q proto.RecordSamplesReq, a *ac) {
 	wantBytes := int(q.NBytes)
 	wantFrames := 2 * wantBytes
-	lin := make([]byte, 2*wantFrames) // lin16 staging
-	res := a.dev.Record(atime.ATime(q.Time), lin, sampleconv.LIN16, a.recGain)
+	linp := getBytes(2 * wantFrames) // lin16 staging
+	res := a.dev.Record(atime.ATime(q.Time), *linp, sampleconv.LIN16, a.recGain)
 	if res.Avail < wantFrames && q.Flags&proto.SampleFlagNoBlock == 0 {
+		putBytes(linp)
 		p := &parked{req: req}
 		c.park = p
 		end := atime.Add(atime.ATime(q.Time), wantFrames)
@@ -545,11 +559,14 @@ func (s *Server) handleRecordADPCM(c *client, req *request, q proto.RecordSample
 		return
 	}
 	frames := res.Avail &^ 1 // whole ADPCM bytes only
-	samples := make([]int16, frames)
-	sampleconv.ToLin16(samples, lin, sampleconv.LIN16, frames)
-	out := make([]byte, frames/2)
-	a.recCoder.Encode(out, samples)
-	c.sendReply(&proto.Reply{Time: uint32(res.Now), Aux: uint32(len(out)), Extra: out})
+	samplesp := getLin(frames)
+	sampleconv.ToLin16(*samplesp, *linp, sampleconv.LIN16, frames)
+	putBytes(linp)
+	outp := getBytes(frames / 2)
+	a.recCoder.Encode(*outp, *samplesp)
+	putLin(samplesp)
+	c.sendReply(&proto.Reply{Time: uint32(res.Now), Aux: uint32(len(*outp)), Extra: *outp})
+	putBytes(outp) // reply marshaling copied the data
 }
 
 // acIDOf extracts the AC id from a parked play/record request body.
@@ -580,6 +597,9 @@ func (s *Server) retryParked(c *client) {
 			return
 		}
 		c.park = nil
+		if p.playPooled != nil {
+			putBytes(p.playPooled)
+		}
 		if req.ext&proto.SampleFlagSuppressReply == 0 {
 			c.sendReply(&proto.Reply{Time: uint32(res.Now)})
 		}
@@ -587,27 +607,32 @@ func (s *Server) retryParked(c *client) {
 		r := proto.NewReader(c.order, req.body)
 		q := proto.DecodeRecordSamples(r, req.ext)
 		if a.enc == sampleconv.ADPCM4 {
-			lin := make([]byte, 4*int(q.NBytes))
-			res := a.dev.Record(atime.ATime(q.Time), lin, sampleconv.LIN16, a.recGain)
+			linp := getBytes(4 * int(q.NBytes))
+			res := a.dev.Record(atime.ATime(q.Time), *linp, sampleconv.LIN16, a.recGain)
 			if res.Avail < 2*int(q.NBytes) {
+				putBytes(linp)
 				return // still short; stay parked (a wake task is pending)
 			}
 			c.park = nil
 			frames := res.Avail &^ 1
-			samples := make([]int16, frames)
-			sampleconv.ToLin16(samples, lin, sampleconv.LIN16, frames)
-			out := make([]byte, frames/2)
-			a.recCoder.Encode(out, samples)
-			c.sendReply(&proto.Reply{Time: uint32(res.Now), Aux: uint32(len(out)), Extra: out})
+			samplesp := getLin(frames)
+			sampleconv.ToLin16(*samplesp, *linp, sampleconv.LIN16, frames)
+			putBytes(linp)
+			outp := getBytes(frames / 2)
+			a.recCoder.Encode(*outp, *samplesp)
+			putLin(samplesp)
+			c.sendReply(&proto.Reply{Time: uint32(res.Now), Aux: uint32(len(*outp)), Extra: *outp})
+			putBytes(outp)
 			break
 		}
 		cfb := a.clientFrameBytes()
 		want := int(q.NBytes) / cfb
-		dst := make([]byte, want*cfb)
-		res := a.dev.Record(atime.ATime(q.Time), dst, a.enc, a.recGain)
+		dstp := getBytes(want * cfb)
+		res := a.dev.Record(atime.ATime(q.Time), *dstp, a.enc, a.recGain)
 		if res.Avail < want {
 			// Still short (e.g. the clock runs slightly slow relative to
 			// the wall-clock estimate): try again shortly.
+			putBytes(dstp)
 			p := c.park
 			missing := want - res.Avail
 			wake := time.Duration(missing)*time.Second/time.Duration(a.dev.Cfg.Rate) + time.Millisecond
@@ -619,7 +644,8 @@ func (s *Server) retryParked(c *client) {
 			return
 		}
 		c.park = nil
-		s.sendRecordReply(c, a, q, dst, res.Now)
+		s.sendRecordReply(c, a, q, *dstp, res.Now)
+		putBytes(dstp)
 	default:
 		c.park = nil
 	}

@@ -1,0 +1,158 @@
+package aserver
+
+import (
+	"encoding/binary"
+	"net"
+	"testing"
+
+	"audiofile/internal/proto"
+	"audiofile/internal/sampleconv"
+	"audiofile/internal/vdev"
+)
+
+// Dispatch benchmarks: the full server-side request path (decode, engine,
+// reply marshal, queue) without a transport, run inside the loop via Do.
+// These are the allocation gates for the pooled staging buffers — the
+// steady state must not allocate per request.
+
+// benchServer builds a one-codec server on a manual clock and a loop-side
+// client. Benchmarks drain the client's outgoing queue back into the
+// message pool inline (drainOut) so the queue can never overflow.
+func benchServer(b *testing.B) (*Server, *client, *vdev.ManualClock, func()) {
+	b.Helper()
+	clk := vdev.NewManualClock(8000)
+	srv, err := New(Options{
+		Devices: []DeviceSpec{{Kind: "codec", Clock: clk}},
+		Logf:    func(string, ...any) {},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p1, p2 := net.Pipe()
+	c := &client{
+		s:          srv,
+		conn:       p1,
+		order:      binary.LittleEndian,
+		outCh:      make(chan *[]byte, outQueueDepth),
+		closed:     make(chan struct{}),
+		acs:        make(map[uint32]*ac),
+		eventMasks: make(map[int]uint32),
+	}
+	srv.Do(func() {
+		d := srv.Device(0)
+		c.acs[1] = &ac{id: 1, dev: d, devIndex: 0,
+			enc: d.Cfg.Enc, channels: d.Cfg.Channels}
+	})
+	cleanup := func() {
+		drainOut(c)
+		p1.Close()
+		p2.Close()
+		srv.Close()
+	}
+	return srv, c, clk, cleanup
+}
+
+// drainOut returns every queued outgoing message to the pool.
+func drainOut(c *client) {
+	for {
+		select {
+		case m := <-c.outCh:
+			putMsg(m)
+		default:
+			return
+		}
+	}
+}
+
+// playBody marshals a PlaySamples request body (AC, Time, NBytes, data).
+func playBody(ac, at uint32, data []byte) []byte {
+	body := make([]byte, 12+len(data))
+	binary.LittleEndian.PutUint32(body[0:], ac)
+	binary.LittleEndian.PutUint32(body[4:], at)
+	binary.LittleEndian.PutUint32(body[8:], uint32(len(data)))
+	copy(body[12:], data)
+	return body
+}
+
+// recordBody marshals a RecordSamples request body (AC, Time, NBytes).
+func recordBody(ac, at, nbytes uint32) []byte {
+	body := make([]byte, 12)
+	binary.LittleEndian.PutUint32(body[0:], ac)
+	binary.LittleEndian.PutUint32(body[4:], at)
+	binary.LittleEndian.PutUint32(body[8:], nbytes)
+	return body
+}
+
+// BenchmarkDispatchPlayMix replays the same 2048-frame µ-law region with
+// mixing on every iteration: decode, Play (mix kernel), reply.
+func BenchmarkDispatchPlayMix(b *testing.B) {
+	srv, c, clk, cleanup := benchServer(b)
+	defer cleanup()
+	clk.Advance(4096)
+	data := make([]byte, 2048)
+	for i := range data {
+		data[i] = byte(i*7 + 1)
+	}
+	srv.Do(func() {
+		now := uint32(srv.Device(0).Time())
+		req := &request{c: c, op: proto.OpPlaySamples,
+			body: playBody(1, now+128, data)}
+		b.SetBytes(int64(len(data)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			srv.dispatch(req)
+			drainOut(c)
+		}
+	})
+}
+
+// BenchmarkDispatchRecord records an available 2048-frame window on every
+// iteration: decode, Record (convert kernel into pooled staging), reply
+// with the sample payload.
+func BenchmarkDispatchRecord(b *testing.B) {
+	srv, c, clk, cleanup := benchServer(b)
+	defer cleanup()
+	clk.Advance(4096)
+	srv.Sync()
+	srv.Do(func() {
+		now := uint32(srv.Device(0).Time())
+		req := &request{c: c, op: proto.OpRecordSamples,
+			ext:  proto.SampleFlagNoBlock,
+			body: recordBody(1, now-2048, 2048)}
+		b.SetBytes(2048)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			srv.dispatch(req)
+			drainOut(c)
+		}
+	})
+}
+
+// BenchmarkDispatchRecordADPCM runs the compressed record path: capture
+// lin16 into pooled staging, compress 2:1, reply.
+func BenchmarkDispatchRecordADPCM(b *testing.B) {
+	srv, c, clk, cleanup := benchServer(b)
+	defer cleanup()
+	srv.Do(func() {
+		a := c.acs[1]
+		a.enc = sampleconv.ADPCM4
+		a.recCoder = &sampleconv.ADPCMCoder{}
+	})
+	clk.Advance(4096)
+	srv.Sync()
+	srv.Do(func() {
+		now := uint32(srv.Device(0).Time())
+		req := &request{c: c, op: proto.OpRecordSamples,
+			ext:  proto.SampleFlagNoBlock,
+			body: recordBody(1, now-2048, 1024)}
+		b.SetBytes(2048)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			srv.dispatch(req)
+			drainOut(c)
+		}
+	})
+}

@@ -1,0 +1,54 @@
+package aserver
+
+import "sync"
+
+// Staging pools for the dispatch hot path. Every play and record request
+// used to allocate its staging (record destination, ADPCM decompression
+// scratch) and its reply marshal buffer per request; a streaming client
+// at CODEC rates turns that into a steady allocation drizzle. The pools
+// make the steady state allocation-free: buffers are checked out for the
+// life of one request (or one queued message) and returned as soon as
+// their bytes have been copied onward.
+//
+// Pools hold *[]T rather than []T so checkout/checkin does not itself
+// allocate a slice-header box per operation.
+var (
+	bytePool = sync.Pool{New: func() any { return new([]byte) }}
+	linPool  = sync.Pool{New: func() any { return new([]int16) }}
+	msgPool  = sync.Pool{New: func() any { return new([]byte) }}
+)
+
+// getBytes checks out a []byte of length n.
+func getBytes(n int) *[]byte {
+	p := bytePool.Get().(*[]byte)
+	if cap(*p) < n {
+		*p = make([]byte, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putBytes(p *[]byte) { bytePool.Put(p) }
+
+// getLin checks out an []int16 of length n.
+func getLin(n int) *[]int16 {
+	p := linPool.Get().(*[]int16)
+	if cap(*p) < n {
+		*p = make([]int16, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putLin(p *[]int16) { linPool.Put(p) }
+
+// getMsg checks out an empty marshal buffer for one outgoing message.
+// The writer goroutine returns it to the pool after the bytes reach the
+// connection's bufio layer.
+func getMsg() *[]byte {
+	p := msgPool.Get().(*[]byte)
+	*p = (*p)[:0]
+	return p
+}
+
+func putMsg(p *[]byte) { msgPool.Put(p) }

@@ -19,9 +19,12 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime/pprof"
 	"strings"
 
 	"audiofile/aserver"
@@ -36,7 +39,31 @@ func main() {
 		"comma-separated device specs: phone | codec[:loopback] | hifi[:rate] | lineserver:addr")
 	console := flag.Bool("console", false, "read exchange-control commands from stdin")
 	verbose := flag.Bool("verbose", false, "log server diagnostics")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off by default")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file until shutdown")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			cmdutil.Die("afd: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			cmdutil.Die("afd: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *pprofAddr != "" {
+		go func() {
+			// DefaultServeMux carries the net/http/pprof handlers.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "afd: pprof listener: %v\n", err)
+			}
+		}()
+	}
 
 	specs, err := parseDevices(*devices)
 	if err != nil {

@@ -199,6 +199,24 @@ func gainFactor(db int) float64 {
 	return math.Pow(10, float64(db)/20)
 }
 
+// gainQ16Tab caches the Q16 quantization of gainFactor over the dB range
+// requests actually use, so the play/record hot path never calls math.Pow.
+var gainQ16Tab [129]int32
+
+func init() {
+	for db := -64; db <= 64; db++ {
+		gainQ16Tab[db+64] = sampleconv.GainQ16(gainFactor(db))
+	}
+}
+
+// gainQ16For resolves a request's dB gain to the engine's Q16 multiplier.
+func gainQ16For(db int) int32 {
+	if db >= -64 && db <= 64 {
+		return gainQ16Tab[db+64]
+	}
+	return sampleconv.GainQ16(gainFactor(db))
+}
+
 // InputGain returns the master input gain in dB.
 func (d *Device) InputGain() int { return d.root().inputGainDB }
 

@@ -34,18 +34,18 @@ func (m *timelineModel) at(t atime.ATime) byte {
 
 // play applies a play request exactly as the engine's pipeline defines:
 // frames before "now" are discarded; each surviving sample is decoded,
-// gain-scaled (with the engine's float-truncation), then mixed with or
-// copied over what is already scheduled.
+// gain-scaled (with the engine's Q16 fixed-point gain), then mixed with
+// or copied over what is already scheduled.
 func (m *timelineModel) play(now, start atime.ATime, data []byte, gainDB int, preempt bool) {
-	gain := gainFactor(gainDB)
+	q := gainQ16For(gainDB)
 	for i, b := range data {
 		ft := atime.Add(start, i)
 		if atime.Before(ft, now) {
 			continue
 		}
 		v := int(sampleconv.DecodeMuLaw(b))
-		if gain != 1.0 {
-			v = int(float64(v) * gain)
+		if q != sampleconv.GainUnity {
+			v = sampleconv.ScaleQ16(v, q)
 		}
 		if !preempt {
 			v += int(sampleconv.DecodeMuLaw(m.at(ft)))

@@ -63,10 +63,16 @@ func (d *Device) Play(start atime.ATime, data []byte, enc sampleconv.Encoding, g
 				r.playBuf.Fill(fillFrom, gap, r.silence)
 			}
 		}
-		gain := gainFactor(gainDB)
+		// The request's pipeline shape — encodings, Q16 gain, mix or copy —
+		// is resolved to batch kernels once here, then reused across every
+		// buffer region the request touches.
+		q := gainQ16For(gainDB)
+		hasGain := q != sampleconv.GainUnity
+		kCopy := sampleconv.SelectKernel(r.Cfg.Enc, enc, false, hasGain)
 		if preempt {
-			d.blitPlay(start, n, data, enc, gain, false)
+			d.blitPlay(start, n, data, enc, q, false, kCopy)
 		} else {
+			kMix := sampleconv.SelectKernel(r.Cfg.Enc, enc, true, hasGain)
 			// Samples before timeLastValid mix with existing data; samples
 			// after it are copied (nothing valid is there).
 			mixN := n
@@ -77,10 +83,10 @@ func (d *Device) Play(start atime.ATime, data []byte, enc sampleconv.Encoding, g
 				}
 			}
 			if mixN > 0 {
-				d.blitPlay(start, mixN, data, enc, gain, true)
+				d.blitPlay(start, mixN, data, enc, q, true, kMix)
 			}
 			if mixN < n {
-				d.blitPlay(atime.Add(start, mixN), n-mixN, data[mixN*vfb:], enc, gain, false)
+				d.blitPlay(atime.Add(start, mixN), n-mixN, data[mixN*vfb:], enc, q, false, kCopy)
 			}
 		}
 		if end := atime.Add(start, n); atime.After(end, r.timeLastValid) {
@@ -102,33 +108,36 @@ func (d *Device) Play(start atime.ATime, data []byte, enc sampleconv.Encoding, g
 }
 
 // blitPlay converts nframes of client samples into the play buffer region
-// starting at t. For a full-width device it processes packed regions; for
-// a channel view it touches only the view's channels inside each frame.
-func (d *Device) blitPlay(t atime.ATime, nframes int, src []byte, enc sampleconv.Encoding, gain float64, mix bool) {
+// starting at t. For a full-width device it applies the request's batch
+// kernel k to the packed regions; for a channel view it touches only the
+// view's channels inside each frame.
+func (d *Device) blitPlay(t atime.ATime, nframes int, src []byte, enc sampleconv.Encoding, q int32, mix bool, k sampleconv.Kernel) {
 	r := d.root()
 	a, b := r.playBuf.Region(t, nframes)
 	if d.parent == nil {
 		ch := r.Cfg.Channels
 		na := len(a) / r.frameBytes
-		sampleconv.Process(a, r.Cfg.Enc, src, enc, na*ch, gain, mix)
+		k(a, src, na*ch, q)
 		if b != nil {
-			sampleconv.Process(b, r.Cfg.Enc, src[enc.BytesPerSamples(na*ch):], enc,
-				(nframes-na)*ch, gain, mix)
+			k(b, src[enc.BytesPerSamples(na*ch):], (nframes-na)*ch, q)
 		}
 		return
 	}
 	// Channel view: strided per-sample processing.
-	d.blitView(a, b, src, enc, gain, mix, true)
+	d.blitView(a, b, src, enc, q, mix, true)
 }
 
 // blitView moves samples between a view's packed client data and the
 // parent's interleaved frames. toBuf selects direction: true converts src
 // (client data) into the buffer regions; false extracts buffer samples
-// into src (which is then the destination, used by Record).
-func (d *Device) blitView(a, b []byte, client []byte, enc sampleconv.Encoding, gain float64, mix, toBuf bool) {
+// into src (which is then the destination, used by Record). Strided
+// access defeats the batch kernels, but the gain is still the engine's
+// Q16 fixed point rather than a per-sample float multiply.
+func (d *Device) blitView(a, b []byte, client []byte, enc sampleconv.Encoding, q int32, mix, toBuf bool) {
 	r := d.root()
 	devEnc := r.Cfg.Enc
 	devCh := r.Cfg.Channels
+	hasGain := q != sampleconv.GainUnity
 	frame := 0
 	for _, region := range [][]byte{a, b} {
 		if region == nil {
@@ -141,8 +150,8 @@ func (d *Device) blitView(a, b []byte, client []byte, enc sampleconv.Encoding, g
 				cliIdx := (frame+i)*d.chanCnt + c
 				if toBuf {
 					v := sampleconv.DecodeSample(enc, client, cliIdx)
-					if gain != 1.0 {
-						v = int(float64(v) * gain)
+					if hasGain {
+						v = sampleconv.ScaleQ16(v, q)
 					}
 					if mix {
 						v += sampleconv.DecodeSample(devEnc, region, bufIdx)
@@ -150,8 +159,8 @@ func (d *Device) blitView(a, b []byte, client []byte, enc sampleconv.Encoding, g
 					sampleconv.EncodeSample(devEnc, region, bufIdx, v)
 				} else {
 					v := sampleconv.DecodeSample(devEnc, region, bufIdx)
-					if gain != 1.0 {
-						v = int(float64(v) * gain)
+					if hasGain {
+						v = sampleconv.ScaleQ16(v, q)
 					}
 					sampleconv.EncodeSample(enc, client, cliIdx, v)
 				}
@@ -196,7 +205,7 @@ func (d *Device) Record(start atime.ATime, dst []byte, enc sampleconv.Encoding, 
 		r.recUpdate(now)
 	}
 
-	gain := gainFactor(gainDB)
+	q := gainQ16For(gainDB)
 	oldest := atime.Add(now, -r.bufFrames)
 	// Silence for the portion older than the buffer.
 	pre := 0
@@ -213,12 +222,14 @@ func (d *Device) Record(start atime.ATime, dst []byte, enc sampleconv.Encoding, 
 		out := dst[pre*vfb:]
 		a, b := r.recBuf.Region(start, n)
 		if d.parent == nil {
+			// One kernel selection per request, reused for both regions.
+			k := sampleconv.SelectKernel(enc, r.Cfg.Enc, false, q != sampleconv.GainUnity)
 			ch := r.Cfg.Channels
 			na := len(a) / r.frameBytes
-			sampleconv.Process(out, enc, a, r.Cfg.Enc, na*ch, gain, false)
-			sampleconv.Process(out[enc.BytesPerSamples(na*ch):], enc, b, r.Cfg.Enc, (n-na)*ch, gain, false)
+			k(out, a, na*ch, q)
+			k(out[enc.BytesPerSamples(na*ch):], b, (n-na)*ch, q)
 		} else {
-			d.blitView(a, b, out, enc, gain, false, false)
+			d.blitView(a, b, out, enc, q, false, false)
 		}
 	}
 	return RecordResult{Avail: avail, Now: now}

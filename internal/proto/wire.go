@@ -36,18 +36,24 @@ func (w *Writer) Len() int { return len(w.Buf) }
 // U8 appends one byte.
 func (w *Writer) U8(v uint8) { w.Buf = append(w.Buf, v) }
 
-// U16 appends a 16-bit value.
+// U16 appends a 16-bit value. The two wire orders are open-coded: passing
+// a stack array through the ByteOrder interface forces it to escape, which
+// would cost a heap allocation on every append.
 func (w *Writer) U16(v uint16) {
-	var b [2]byte
-	w.Order.PutUint16(b[:], v)
-	w.Buf = append(w.Buf, b[:]...)
+	if w.Order == binary.ByteOrder(binary.BigEndian) {
+		w.Buf = append(w.Buf, byte(v>>8), byte(v))
+	} else {
+		w.Buf = append(w.Buf, byte(v), byte(v>>8))
+	}
 }
 
 // U32 appends a 32-bit value.
 func (w *Writer) U32(v uint32) {
-	var b [4]byte
-	w.Order.PutUint32(b[:], v)
-	w.Buf = append(w.Buf, b[:]...)
+	if w.Order == binary.ByteOrder(binary.BigEndian) {
+		w.Buf = append(w.Buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	} else {
+		w.Buf = append(w.Buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
 }
 
 // I16 appends a signed 16-bit value.

@@ -41,6 +41,7 @@ func BenchmarkMuLawEncode(b *testing.B) {
 func BenchmarkMixMuLaw(b *testing.B) {
 	dst, src := benchBuf(8192)
 	b.SetBytes(8192)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		Mix(MU255, dst, src, 8192)
 	}
@@ -49,8 +50,66 @@ func BenchmarkMixMuLaw(b *testing.B) {
 func BenchmarkMixLin16(b *testing.B) {
 	dst, src := benchBuf(16384)
 	b.SetBytes(16384)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		Mix(LIN16, dst, src, 8192)
+	}
+}
+
+// BenchmarkMixMuLawReference is the retained scalar pipeline on the same
+// workload as BenchmarkMixMuLaw: the before/after of the kernel layer.
+func BenchmarkMixMuLawReference(b *testing.B) {
+	dst, src := benchBuf(8192)
+	b.SetBytes(8192)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		referenceProcess(dst, MU255, src, MU255, 8192, GainUnity, true)
+	}
+}
+
+// BenchmarkKernel exercises each specialized kernel shape through
+// SelectKernel, with allocation tracking: the streaming hot path must not
+// allocate in steady state.
+func BenchmarkKernel(b *testing.B) {
+	cases := []struct {
+		name           string
+		dstEnc, srcEnc Encoding
+		mix, hasGain   bool
+		gain           float64
+	}{
+		{"mu_mix", MU255, MU255, true, false, 1.0},
+		{"a_mix", ALAW, ALAW, true, false, 1.0},
+		{"mu_gain", MU255, MU255, false, true, 0.5},
+		{"mu_gain_mix", MU255, MU255, true, true, 0.5},
+		{"lin16_mix", LIN16, LIN16, true, false, 1.0},
+		{"lin16_gain", LIN16, LIN16, false, true, 0.5},
+		{"lin16_gain_mix", LIN16, LIN16, true, true, 0.5},
+		{"mu_to_a", ALAW, MU255, false, false, 1.0},
+		{"mu_to_lin16", LIN16, MU255, false, false, 1.0},
+		{"lin16_to_mu", MU255, LIN16, false, false, 1.0},
+		{"generic_lin32_mix", LIN32, MU255, true, false, 1.0},
+		{"generic_mu_to_lin16_gain_mix", LIN16, MU255, true, true, 0.5},
+	}
+	const n = 8192
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			src := make([]byte, tc.srcEnc.BytesPerSamples(n))
+			dst := make([]byte, tc.dstEnc.BytesPerSamples(n))
+			for i := range src {
+				src[i] = byte(i*7 + 1)
+			}
+			for i := range dst {
+				dst[i] = byte(i * 3)
+			}
+			q := GainQ16(tc.gain)
+			k := SelectKernel(tc.dstEnc, tc.srcEnc, tc.mix, tc.hasGain)
+			b.SetBytes(int64(len(src)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k(dst, src, n, q)
+			}
+		})
 	}
 }
 
@@ -108,7 +167,17 @@ func BenchmarkADPCMDecode(b *testing.B) {
 func BenchmarkSwapBytesLin16(b *testing.B) {
 	dst, _ := benchBuf(16384)
 	b.SetBytes(16384)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		SwapBytes(LIN16, dst)
+	}
+}
+
+func BenchmarkSwapBytesLin32(b *testing.B) {
+	dst, _ := benchBuf(16384)
+	b.SetBytes(16384)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SwapBytes(LIN32, dst)
 	}
 }

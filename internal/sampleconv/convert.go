@@ -1,29 +1,50 @@
 package sampleconv
 
-import "encoding/binary"
+import (
+	"encoding/binary"
+	"math/bits"
+)
 
 // Sample data in wire and buffer form is a flat byte slice. Multi-byte
 // linear samples are stored little-endian inside the server; requests from
 // big-endian clients are byte-swapped on ingest and egress (see SwapBytes).
 
 // SwapBytes reverses the byte order of every multi-byte sample unit in buf,
-// in place. It is a no-op for 8-bit encodings.
+// in place, operating on whole machine words rather than byte pairs. It is
+// a no-op for 8-bit encodings.
+//
+// A trailing partial unit (an odd byte for 16-bit encodings, 1–3 bytes for
+// 32-bit) is not a whole sample and is left untouched: there is no byte
+// order to reverse until the rest of the sample arrives. Callers framing
+// wire data should not hand partial units here expecting them swapped.
 func SwapBytes(e Encoding, buf []byte) {
 	switch Sizes[e].BytesPerUnit {
 	case 2:
-		for i := 0; i+1 < len(buf); i += 2 {
-			buf[i], buf[i+1] = buf[i+1], buf[i]
+		n := len(buf) &^ 1
+		i := 0
+		// Four samples per iteration: swap adjacent bytes inside a word.
+		for ; i+8 <= n; i += 8 {
+			v := binary.LittleEndian.Uint64(buf[i:])
+			v = (v&0x00FF00FF00FF00FF)<<8 | (v>>8)&0x00FF00FF00FF00FF
+			binary.LittleEndian.PutUint64(buf[i:], v)
+		}
+		for ; i < n; i += 2 {
+			binary.LittleEndian.PutUint16(buf[i:],
+				bits.ReverseBytes16(binary.LittleEndian.Uint16(buf[i:])))
 		}
 	case 4:
-		for i := 0; i+3 < len(buf); i += 4 {
-			buf[i], buf[i+3] = buf[i+3], buf[i]
-			buf[i+1], buf[i+2] = buf[i+2], buf[i+1]
+		n := len(buf) &^ 3
+		for i := 0; i < n; i += 4 {
+			binary.LittleEndian.PutUint32(buf[i:],
+				bits.ReverseBytes32(binary.LittleEndian.Uint32(buf[i:])))
 		}
 	}
 }
 
 // decode16 reads the sample unit at index i of buf (native little-endian)
-// and returns it in the 16-bit linear domain.
+// and returns it in the 16-bit linear domain. It is the scalar primitive
+// behind the reference pipeline and the channel-view paths; bulk code goes
+// through the kernels (see kernels.go).
 func decode16(e Encoding, buf []byte, i int) int {
 	switch e {
 	case MU255:
@@ -69,67 +90,57 @@ func EncodeSample(e Encoding, buf []byte, i int, v int) { encode16(e, buf, i, v)
 // least nsamples in their respective encodings. It returns the number of
 // samples processed.
 //
-// Gain is a linear multiplier (1.0 = 0 dB). The common fast path — same
-// encoding, unity gain, preemptive — is a plain copy.
+// Gain is a linear multiplier (1.0 = 0 dB), quantized to Q16 fixed point.
+// The request shape is resolved once, to a batch kernel, rather than per
+// sample; callers that already hold a request-long view should use
+// SelectKernel directly and reuse the kernel across buffer regions.
 func Process(dst []byte, dstEnc Encoding, src []byte, srcEnc Encoding, nsamples int, gain float64, mix bool) int {
 	if nsamples <= 0 {
 		return 0
 	}
-	if !mix && gain == 1.0 && dstEnc == srcEnc {
-		n := dstEnc.BytesPerSamples(nsamples)
-		copy(dst[:n], src[:n])
-		return nsamples
-	}
-	if !mix && gain == 1.0 && srcEnc == MU255 && dstEnc == ALAW {
-		for i := 0; i < nsamples; i++ {
-			dst[i] = MuToA[src[i]]
-		}
-		return nsamples
-	}
-	if !mix && gain == 1.0 && srcEnc == ALAW && dstEnc == MU255 {
-		for i := 0; i < nsamples; i++ {
-			dst[i] = AToMu[src[i]]
-		}
-		return nsamples
-	}
-	for i := 0; i < nsamples; i++ {
-		v := decode16(srcEnc, src, i)
-		if gain != 1.0 {
-			v = int(float64(v) * gain)
-		}
-		if mix {
-			v += decode16(dstEnc, dst, i)
-		}
-		encode16(dstEnc, dst, i, v)
-	}
+	q := GainQ16(gain)
+	SelectKernel(dstEnc, srcEnc, mix, q != GainUnity)(dst, src, nsamples, q)
 	return nsamples
 }
 
 // Convert translates nsamples from srcEnc to dstEnc with unity gain,
 // overwriting dst. It is Process without mixing.
 func Convert(dst []byte, dstEnc Encoding, src []byte, srcEnc Encoding, nsamples int) int {
-	return Process(dst, dstEnc, src, srcEnc, nsamples, 1.0, false)
+	if nsamples <= 0 {
+		return 0
+	}
+	SelectKernel(dstEnc, srcEnc, false, false)(dst, src, nsamples, GainUnity)
+	return nsamples
 }
 
 // Mix mixes nsamples of src into dst, both in encoding e, saturating in
 // the linear domain (the paper's AF_mix_u / AF_mix_a behaviour).
 func Mix(e Encoding, dst, src []byte, nsamples int) {
-	Process(dst, e, src, e, nsamples, 1.0, true)
+	if nsamples <= 0 {
+		return
+	}
+	SelectKernel(e, e, true, false)(dst, src, nsamples, GainUnity)
 }
 
 // ApplyGain scales nsamples of buf (encoding e) by a linear gain factor in
 // place.
 func ApplyGain(e Encoding, buf []byte, nsamples int, gain float64) {
-	if gain == 1.0 {
+	q := GainQ16(gain)
+	if q == GainUnity || nsamples <= 0 {
 		return
 	}
-	for i := 0; i < nsamples; i++ {
-		encode16(e, buf, i, int(float64(decode16(e, buf, i))*gain))
-	}
+	SelectKernel(e, e, false, true)(buf, buf, nsamples, q)
 }
 
 // ToLin16 decodes nsamples of src into dst as 16-bit-domain linear values.
 func ToLin16(dst []int16, src []byte, e Encoding, nsamples int) {
+	if nsamples <= 0 {
+		return
+	}
+	if e.Valid() {
+		decBatch[e](dst[:nsamples], src)
+		return
+	}
 	for i := 0; i < nsamples; i++ {
 		dst[i] = int16(decode16(e, src, i))
 	}
@@ -137,6 +148,13 @@ func ToLin16(dst []int16, src []byte, e Encoding, nsamples int) {
 
 // FromLin16 encodes nsamples of linear values into dst in encoding e.
 func FromLin16(dst []byte, e Encoding, src []int16, nsamples int) {
+	if nsamples <= 0 {
+		return
+	}
+	if e.Valid() {
+		encBatch[e](dst, src[:nsamples])
+		return
+	}
 	for i := 0; i < nsamples; i++ {
 		encode16(e, dst, i, int(src[i]))
 	}

@@ -42,6 +42,57 @@ func TestSwapBytes(t *testing.T) {
 	}
 }
 
+// TestSwapBytesPartialUnit pins the documented trailing-partial-unit
+// behaviour: whole sample units are swapped, and a trailing fragment (an
+// odd byte for 16-bit encodings, 1–3 bytes for 32-bit) is left untouched
+// rather than being half-swapped or dropped silently.
+func TestSwapBytesPartialUnit(t *testing.T) {
+	b := []byte{1, 2, 3, 4, 5}
+	SwapBytes(LIN16, b)
+	if !bytes.Equal(b, []byte{2, 1, 4, 3, 5}) {
+		t.Errorf("lin16 partial swap = %v, want [2 1 4 3 5]", b)
+	}
+	for tail := 1; tail <= 3; tail++ {
+		b := []byte{1, 2, 3, 4, 9, 8, 7}[:4+tail]
+		want := append([]byte{4, 3, 2, 1}, b[4:]...)
+		SwapBytes(LIN32, b)
+		if !bytes.Equal(b, want) {
+			t.Errorf("lin32 partial swap (tail %d) = %v, want %v", tail, b, want)
+		}
+	}
+	// A buffer smaller than one unit is untouched entirely.
+	one := []byte{42}
+	SwapBytes(LIN16, one)
+	if one[0] != 42 {
+		t.Errorf("sub-unit buffer changed: %v", one)
+	}
+}
+
+// TestSwapBytesAllLengths cross-checks the word-at-a-time implementation
+// against a byte-pair reference over every length through several words,
+// covering the unrolled body, the scalar tail, and partial units.
+func TestSwapBytesAllLengths(t *testing.T) {
+	for _, e := range []Encoding{LIN16, LIN32} {
+		unit := int(Sizes[e].BytesPerUnit)
+		for n := 0; n < 67; n++ {
+			buf := make([]byte, n)
+			for i := range buf {
+				buf[i] = byte(i + 1)
+			}
+			want := append([]byte(nil), buf...)
+			for i := 0; i+unit <= n; i += unit {
+				for j := 0; j < unit/2; j++ {
+					want[i+j], want[i+unit-1-j] = want[i+unit-1-j], want[i+j]
+				}
+			}
+			SwapBytes(e, buf)
+			if !bytes.Equal(buf, want) {
+				t.Fatalf("%v len %d: got %v, want %v", e, n, buf, want)
+			}
+		}
+	}
+}
+
 func TestSwapInvolution(t *testing.T) {
 	f := func(data []byte) bool {
 		for _, e := range []Encoding{LIN16, LIN32} {
