@@ -190,6 +190,12 @@ type Conn struct {
 	order binary.ByteOrder
 	name  string
 
+	// rmsg is the reusable incoming-message buffer: the reply stream is
+	// read into it without allocating. Its contents (including any Extra
+	// bytes) are only valid until the next read, so anything handed to
+	// the application is copied out first.
+	rmsg proto.Message
+
 	w       proto.Writer // outgoing request buffer
 	sentSeq uint16       // sequence number of the last request buffered
 

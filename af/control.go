@@ -272,7 +272,9 @@ func (c *Conn) ListHosts() (enabled bool, hosts []HostEntry, err error) {
 		return false, nil, fmt.Errorf("af: bad ListHosts reply: %w", r.Err)
 	}
 	for _, h := range wire {
-		hosts = append(hosts, HostEntry{Family: h.Family, Addr: h.Addr})
+		// h.Addr aliases the connection's reusable reply buffer; copy it
+		// out for the caller.
+		hosts = append(hosts, HostEntry{Family: h.Family, Addr: append([]byte(nil), h.Addr...)})
 	}
 	return rep.Data != 0, hosts, nil
 }

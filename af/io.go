@@ -75,11 +75,10 @@ func (c *Conn) readMessage() (*proto.Message, error) {
 	if c.ioErr != nil {
 		return nil, c.ioErr
 	}
-	msg, err := proto.ReadMessage(c.br, c.order)
-	if err != nil {
+	if err := proto.ReadMessageInto(c.br, c.order, &c.rmsg); err != nil {
 		return nil, c.ioError(err)
 	}
-	return msg, nil
+	return &c.rmsg, nil
 }
 
 // pollMessage reads one message if any data is ready, without blocking
@@ -98,11 +97,10 @@ func (c *Conn) pollMessage() (*proto.Message, bool, error) {
 		}
 		return nil, false, c.ioError(err)
 	}
-	msg, err := proto.ReadMessage(io.MultiReader(bytes.NewReader([]byte{b}), c.br), c.order)
-	if err != nil {
+	if err := proto.ReadMessageInto(io.MultiReader(bytes.NewReader([]byte{b}), c.br), c.order, &c.rmsg); err != nil {
 		return nil, false, c.ioError(err)
 	}
-	return msg, true, nil
+	return &c.rmsg, true, nil
 }
 
 // dispatchAsync handles a message that is not the awaited reply: events

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync/atomic"
 	"time"
 
 	"audiofile/internal/core"
@@ -13,16 +14,34 @@ import (
 	"audiofile/internal/sampleconv"
 )
 
-// request is one framed client request delivered to the server loop.
+// request is one framed client request. Hot (data-plane) requests are
+// dispatched inline by the reader; control-plane requests make a
+// synchronous round trip through the server loop.
 type request struct {
 	c    *client
 	op   uint8
 	ext  uint8
 	body []byte
+	// frame is the pooled buffer backing body (nil when the body is
+	// caller-owned, as in tests and benchmarks). A park takes ownership
+	// of the frame; otherwise the reader recycles it after dispatch.
+	frame *[]byte
+	// done is set on control-plane requests: the loop closes it once the
+	// request has been dispatched, releasing the reader to move on. The
+	// round trip is what preserves per-connection FIFO order across the
+	// control/data plane split.
+	done chan struct{}
 }
 
 // ac is the server-side audio context (§5.6): the parameters a client
 // binds once instead of repeating on every play and record request.
+//
+// An ac is touched by two goroutines — the connection's reader (hot
+// dispatch) and the server loop (attribute changes) — but never at the
+// same time: the reader performs control operations as synchronous round
+// trips, so every loop-side mutation is ordered against the reader's own
+// requests. Fields shared with engine retries (recording, coder state)
+// are only used under the owning engine's lock.
 type ac struct {
 	id       uint32
 	dev      *core.Device
@@ -39,25 +58,8 @@ type ac struct {
 	recCoder  *sampleconv.ADPCMCoder
 	// recording marks contexts that have recorded at least once; the
 	// first record increments the device's RecRefCount so the periodic
-	// record update runs (§7.4.1).
+	// record update runs (§7.4.1). Guarded by the owning engine's lock.
 	recording bool
-}
-
-// parked captures a blocked request being resumed by the task mechanism:
-// a play whose tail lies beyond the buffer horizon, or a blocking record
-// whose data has not been captured yet.
-type parked struct {
-	req *request
-	// play state: remaining data in playEnc (compressed contexts park
-	// already-decompressed data)
-	playData []byte
-	playTime uint32
-	playEnc  sampleconv.Encoding
-	// playPooled is set when playData aliases a pool-owned staging buffer
-	// (the ADPCM decompression output); it returns to the pool when the
-	// parked play finally completes.
-	playPooled *[]byte
-	// record state is re-derived from the request on each retry
 }
 
 // client is one connection's server-side state.
@@ -65,23 +67,27 @@ type client struct {
 	s     *Server
 	conn  net.Conn
 	order binary.ByteOrder
-	seq   uint16
+
+	// seq counts dispatched requests; its low 16 bits are the protocol
+	// sequence number. Atomic because events are stamped with it from
+	// engine goroutines while the reader advances it.
+	seq atomic.Uint32
+	// dead marks a client that must receive no further output (queue
+	// overflow, unregister). Checked by every sender.
+	dead atomic.Bool
 
 	outCh  chan *[]byte
 	closed chan struct{}
 
 	acs        map[uint32]*ac
-	eventMasks map[int]uint32
+	eventMasks map[int]uint32 // guarded by Server.clientMu
 
-	park    *parked
-	pending []*request
-
-	gone bool // loop-side flag after unregister
+	removed bool // loop-side flag: removeClient already ran
 }
 
 // outQueueDepth bounds the per-client outgoing message queue. A client
 // that stops reading while the server has this much buffered is
-// disconnected rather than allowed to wedge the single-threaded loop.
+// disconnected rather than allowed to wedge the server.
 const outQueueDepth = 1024
 
 // handleConn performs connection setup and runs the reader.
@@ -152,10 +158,24 @@ func (s *Server) handleConn(conn net.Conn) {
 	c.reader()
 }
 
-// reader frames requests off the wire and feeds the loop.
+// hotOp reports whether op belongs to the data plane: dispatched inline
+// by the reader under the owning engine's lock rather than through the
+// server loop.
+func hotOp(op uint8) bool {
+	return op == proto.OpPlaySamples || op == proto.OpRecordSamples ||
+		op == proto.OpGetTime
+}
+
+// reader frames requests off the wire and dispatches them: hot ops
+// inline to the owning engine, control ops through the loop. It reads
+// one request ahead of a blocked (parked) request — the read keeps
+// disconnect detection live while parked; the barrier before dispatch
+// keeps per-connection FIFO order.
 func (c *client) reader() {
 	br := bufio.NewReaderSize(c.conn, 64<<10)
 	var hdr [4]byte
+	req := &request{c: c} // reused across hot requests; parks copy out of it
+	var await *parked     // outstanding blocked request, if any
 	for {
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			break
@@ -165,17 +185,54 @@ func (c *client) reader() {
 		if n < 4 {
 			break
 		}
-		body := make([]byte, n-4)
-		if _, err := io.ReadFull(br, body); err != nil {
+		framep := getReqFrame(n - 4)
+		if _, err := io.ReadFull(br, *framep); err != nil {
+			putReqFrame(framep)
 			break
 		}
+		if await != nil {
+			select {
+			case <-await.done:
+				await = nil
+			case <-c.closed:
+				putReqFrame(framep)
+				return
+			case <-c.s.done:
+				putReqFrame(framep)
+				return
+			}
+		}
+		if c.dead.Load() {
+			putReqFrame(framep)
+			break
+		}
+		req.op, req.ext, req.body, req.frame, req.done = op, ext, *framep, framep, nil
+		if hotOp(op) {
+			await = c.s.dispatchHot(req)
+			if await == nil {
+				putReqFrame(framep)
+			}
+			// On park the frame now belongs to the parked state; it
+			// returns to the pool when the park finishes.
+			continue
+		}
+		req.done = make(chan struct{})
 		select {
-		case c.s.reqCh <- &request{c: c, op: op, ext: ext, body: body}:
+		case c.s.reqCh <- req:
 		case <-c.s.done:
+			putReqFrame(framep)
 			return
 		case <-c.closed:
+			putReqFrame(framep)
 			return
 		}
+		select {
+		case <-req.done:
+		case <-c.s.stopped:
+			putReqFrame(framep)
+			return
+		}
+		putReqFrame(framep)
 	}
 	select {
 	case c.s.unregCh <- c:
@@ -236,9 +293,10 @@ func (c *client) writer() {
 
 // send queues a marshaled message; it reports false (and abandons the
 // client) if the queue is full. Ownership of msg passes to the writer
-// goroutine on success and back to the pool on failure.
+// goroutine on success and back to the pool on failure. Safe from any
+// goroutine.
 func (c *client) send(msg *[]byte) bool {
-	if c.gone {
+	if c.dead.Load() {
 		putMsg(msg)
 		return false
 	}
@@ -248,14 +306,17 @@ func (c *client) send(msg *[]byte) bool {
 	default:
 		putMsg(msg)
 		c.s.logf("aserver: client %v output queue overflow, dropping connection", c.conn.RemoteAddr())
-		c.s.dropClient(c)
+		// Mark the client dead and sever the transport; the reader exits
+		// on the closed conn and the loop reclaims state via unregister.
+		c.dead.Store(true)
+		c.conn.Close()
 		return false
 	}
 }
 
-// sendReply marshals and queues a reply.
-func (c *client) sendReply(p *proto.Reply) {
-	p.Seq = c.seq
+// sendReply marshals and queues a reply for the request carrying seq.
+func (c *client) sendReply(p *proto.Reply, seq uint16) {
+	p.Seq = seq
 	m := getMsg()
 	w := proto.Writer{Order: c.order, Buf: *m}
 	p.Encode(&w)
@@ -263,9 +324,10 @@ func (c *client) sendReply(p *proto.Reply) {
 	c.send(m)
 }
 
-// sendError marshals and queues a protocol error for the current request.
-func (c *client) sendError(code uint8, badValue uint32, op uint8) {
-	e := proto.ErrorMsg{Code: code, Seq: c.seq, BadValue: badValue, MajorOp: op}
+// sendError marshals and queues a protocol error for the request
+// carrying seq.
+func (c *client) sendError(code uint8, badValue uint32, op uint8, seq uint16) {
+	e := proto.ErrorMsg{Code: code, Seq: seq, BadValue: badValue, MajorOp: op}
 	m := getMsg()
 	w := proto.Writer{Order: c.order, Buf: *m}
 	e.Encode(&w)
@@ -273,9 +335,10 @@ func (c *client) sendError(code uint8, badValue uint32, op uint8) {
 	c.send(m)
 }
 
-// sendEvent marshals and queues an event.
+// sendEvent marshals and queues an event, stamped with the sequence
+// number of the client's most recently dispatched request.
 func (c *client) sendEvent(ev *proto.Event) {
-	ev.Seq = c.seq
+	ev.Seq = uint16(c.seq.Load())
 	m := getMsg()
 	w := proto.Writer{Order: c.order, Buf: *m}
 	ev.Encode(&w)

@@ -1,96 +1,151 @@
 package aserver
 
 import (
-	"encoding/binary"
 	"time"
 
 	"audiofile/internal/atime"
-	"audiofile/internal/core"
 	"audiofile/internal/phonesim"
 	"audiofile/internal/proto"
 	"audiofile/internal/sampleconv"
 )
 
-// dispatch indexes the request type into the handler table, as the DIA
-// dispatcher does. It runs in the server loop.
+// dispatch routes one request: data-plane ops to the owning engine,
+// everything else through the control-plane switch. Callable from the
+// server loop and, for data-plane ops, from any goroutine (the engines
+// provide the locking).
 func (s *Server) dispatch(req *request) {
+	switch req.op {
+	case proto.OpPlaySamples, proto.OpRecordSamples, proto.OpGetTime:
+		s.dispatchHot(req)
+	default:
+		s.dispatchControl(req)
+	}
+}
+
+// dispatchHot serves the hot ops — PlaySamples, RecordSamples, GetTime —
+// inline on the caller's goroutine under the owning engine's lock. It
+// returns the park when the request blocked; the caller must not
+// dispatch another request for this connection until the park's done
+// channel closes.
+func (s *Server) dispatchHot(req *request) *parked {
 	c := req.c
-	c.seq++
-	s.requestCount++
+	seq := uint16(c.seq.Add(1))
+	s.requestCount.Add(1)
+	r := proto.NewReader(c.order, req.body)
+	switch req.op {
+	case proto.OpGetTime:
+		dev := proto.DecodeDeviceReq(r)
+		if !s.validDevice(dev) {
+			c.sendError(proto.ErrDevice, dev, req.op, seq)
+			return nil
+		}
+		e := s.engineByDev[dev]
+		e.mu.Lock()
+		t := uint32(s.devices[dev].Time())
+		e.mu.Unlock()
+		c.sendReply(&proto.Reply{Time: t}, seq)
+
+	case proto.OpPlaySamples:
+		q := proto.DecodePlaySamples(r, req.ext)
+		if r.Err != nil {
+			c.sendError(proto.ErrLength, 0, req.op, seq)
+			return nil
+		}
+		a := c.acs[q.AC]
+		if a == nil {
+			c.sendError(proto.ErrAC, q.AC, req.op, seq)
+			return nil
+		}
+		e := s.engineByDev[a.devIndex]
+		e.mu.Lock()
+		p := handlePlay(c, a, req, q, seq)
+		if p != nil {
+			e.parks[c] = p
+		}
+		e.mu.Unlock()
+		return p
+
+	case proto.OpRecordSamples:
+		q := proto.DecodeRecordSamples(r, req.ext)
+		if r.Err != nil {
+			c.sendError(proto.ErrLength, 0, req.op, seq)
+			return nil
+		}
+		a := c.acs[q.AC]
+		if a == nil {
+			c.sendError(proto.ErrAC, q.AC, req.op, seq)
+			return nil
+		}
+		e := s.engineByDev[a.devIndex]
+		e.mu.Lock()
+		p := handleRecord(c, a, e, req, q, seq)
+		if p != nil {
+			e.parks[c] = p
+		}
+		e.mu.Unlock()
+		return p
+	}
+	return nil
+}
+
+// dispatchControl indexes the request type into the handler table, as
+// the DIA dispatcher does. It runs in the server loop.
+func (s *Server) dispatchControl(req *request) {
+	c := req.c
+	seq := uint16(c.seq.Add(1))
+	s.requestCount.Add(1)
 	r := proto.NewReader(c.order, req.body)
 	switch req.op {
 	case proto.OpSelectEvents:
 		q := proto.DecodeSelectEvents(r)
 		if r.Err != nil {
-			c.sendError(proto.ErrLength, 0, req.op)
+			c.sendError(proto.ErrLength, 0, req.op, seq)
 			return
 		}
 		if !s.validDevice(q.Device) {
-			c.sendError(proto.ErrDevice, q.Device, req.op)
+			c.sendError(proto.ErrDevice, q.Device, req.op, seq)
 			return
 		}
+		s.clientMu.Lock()
 		c.eventMasks[int(q.Device)] = q.Mask
+		s.clientMu.Unlock()
 
 	case proto.OpCreateAC:
 		q := proto.DecodeCreateAC(r)
 		if r.Err != nil {
-			c.sendError(proto.ErrLength, 0, req.op)
+			c.sendError(proto.ErrLength, 0, req.op, seq)
 			return
 		}
-		s.handleCreateAC(c, req.op, q)
+		s.handleCreateAC(c, req.op, q, seq)
 
 	case proto.OpChangeACAttributes:
 		q := proto.DecodeChangeAC(r)
 		if r.Err != nil {
-			c.sendError(proto.ErrLength, 0, req.op)
+			c.sendError(proto.ErrLength, 0, req.op, seq)
 			return
 		}
 		a := c.acs[q.AC]
 		if a == nil {
-			c.sendError(proto.ErrAC, q.AC, req.op)
+			c.sendError(proto.ErrAC, q.AC, req.op, seq)
 			return
 		}
-		s.applyACAttrs(c, req.op, a, q.Mask, q.Attrs)
+		s.applyACAttrs(c, req.op, a, q.Mask, q.Attrs, seq)
 
 	case proto.OpFreeAC:
 		id := r.U32()
 		a := c.acs[id]
 		if a == nil {
-			c.sendError(proto.ErrAC, id, req.op)
+			c.sendError(proto.ErrAC, id, req.op, seq)
 			return
 		}
 		s.releaseAC(a)
 		delete(c.acs, id)
 
-	case proto.OpPlaySamples:
-		q := proto.DecodePlaySamples(r, req.ext)
-		if r.Err != nil {
-			c.sendError(proto.ErrLength, 0, req.op)
-			return
-		}
-		s.handlePlay(c, req, q)
-
-	case proto.OpRecordSamples:
-		q := proto.DecodeRecordSamples(r, req.ext)
-		if r.Err != nil {
-			c.sendError(proto.ErrLength, 0, req.op)
-			return
-		}
-		s.handleRecord(c, req, q)
-
-	case proto.OpGetTime:
-		dev := proto.DecodeDeviceReq(r)
-		if !s.validDevice(dev) {
-			c.sendError(proto.ErrDevice, dev, req.op)
-			return
-		}
-		c.sendReply(&proto.Reply{Time: uint32(s.devices[dev].Time())})
-
 	case proto.OpQueryPhone:
 		dev := proto.DecodeDeviceReq(r)
 		line := s.lineFor(dev)
 		if line == nil {
-			c.sendError(proto.ErrMatch, dev, req.op)
+			c.sendError(proto.ErrMatch, dev, req.op, seq)
 			return
 		}
 		var hook, loop uint32
@@ -101,43 +156,47 @@ func (s *Server) dispatch(req *request) {
 			loop = 1
 		}
 		c.sendReply(&proto.Reply{Data: uint8(hook), Aux: loop,
-			Time: uint32(s.devices[dev].Time())})
+			Time: uint32(s.deviceTime(dev))}, seq)
 
 	case proto.OpEnablePassThrough:
 		q := proto.DecodePassThrough(r)
-		s.handleEnablePassThrough(c, req.op, q)
+		s.handleEnablePassThrough(c, req.op, q, seq)
 
 	case proto.OpDisablePassThrough:
 		dev := proto.DecodeDeviceReq(r)
 		if !s.validDevice(dev) {
-			c.sendError(proto.ErrDevice, dev, req.op)
+			c.sendError(proto.ErrDevice, dev, req.op, seq)
 			return
 		}
-		for idx, p := range s.passThrough {
-			if p.a.Index == int(dev) || p.b.Index == int(dev) {
-				delete(s.passThrough, idx)
+		for _, e := range s.engines {
+			e.mu.Lock()
+			for idx, p := range e.patches {
+				if p.a.Index == int(dev) || p.b.Index == int(dev) {
+					delete(e.patches, idx)
+				}
 			}
+			e.mu.Unlock()
 		}
 
 	case proto.OpHookSwitch:
 		dev := proto.DecodeDeviceReq(r)
 		line := s.lineFor(dev)
 		if line == nil {
-			c.sendError(proto.ErrMatch, dev, req.op)
+			c.sendError(proto.ErrMatch, dev, req.op, seq)
 			return
 		}
 		line.SetHook(req.ext == proto.HookOff)
-		s.updateDevice(s.rootOf(dev)) // deliver the hook event promptly
+		s.updateEngine(dev) // deliver the hook event promptly
 
 	case proto.OpFlashHook:
 		q := proto.DecodeFlashHook(r)
 		line := s.lineFor(q.Device)
 		if line == nil {
-			c.sendError(proto.ErrMatch, q.Device, req.op)
+			c.sendError(proto.ErrMatch, q.Device, req.op, seq)
 			return
 		}
 		if !line.OffHook() {
-			c.sendError(proto.ErrMatch, q.Device, req.op)
+			c.sendError(proto.ErrMatch, q.Device, req.op, seq)
 			return
 		}
 		dur := time.Duration(q.DurationMs) * time.Millisecond
@@ -146,13 +205,15 @@ func (s *Server) dispatch(req *request) {
 		}
 		line.SetHook(false)
 		dev := q.Device
+		// The re-hook rides on the loop's own task timer; the engine is
+		// only entered to deliver the event.
 		s.tasks.addAfter(dur, func() {
 			if l := s.lineFor(dev); l != nil {
 				l.SetHook(true)
-				s.updateDevice(s.rootOf(dev))
+				s.updateEngine(dev)
 			}
 		})
-		s.updateDevice(s.rootOf(dev))
+		s.updateEngine(dev)
 
 	case proto.OpEnableGainControl:
 		s.gainControl = true
@@ -162,55 +223,71 @@ func (s *Server) dispatch(req *request) {
 	case proto.OpDialPhone:
 		// Obsolete: FCC dialing timing cannot be met from the server's
 		// tasking system; clients dial by playing tone pairs themselves.
-		c.sendError(proto.ErrImplementation, 0, req.op)
+		c.sendError(proto.ErrImplementation, 0, req.op, seq)
 
 	case proto.OpSetInputGain:
 		q := proto.DecodeGainReq(r)
 		if !s.validDevice(q.Device) {
-			c.sendError(proto.ErrDevice, q.Device, req.op)
+			c.sendError(proto.ErrDevice, q.Device, req.op, seq)
 			return
 		}
 		if q.Gain < minDeviceGain || q.Gain > maxDeviceGain {
-			c.sendError(proto.ErrValue, uint32(q.Gain), req.op)
+			c.sendError(proto.ErrValue, uint32(q.Gain), req.op, seq)
 			return
 		}
+		e := s.engineByDev[q.Device]
+		e.mu.Lock()
 		s.devices[q.Device].SetInputGain(int(q.Gain))
+		e.mu.Unlock()
 
 	case proto.OpSetOutputGain:
 		q := proto.DecodeGainReq(r)
 		if !s.validDevice(q.Device) {
-			c.sendError(proto.ErrDevice, q.Device, req.op)
+			c.sendError(proto.ErrDevice, q.Device, req.op, seq)
 			return
 		}
 		if q.Gain < minDeviceGain || q.Gain > maxDeviceGain {
-			c.sendError(proto.ErrValue, uint32(q.Gain), req.op)
+			c.sendError(proto.ErrValue, uint32(q.Gain), req.op, seq)
 			return
 		}
+		e := s.engineByDev[q.Device]
+		e.mu.Lock()
 		s.devices[q.Device].SetOutputGain(int(q.Gain))
+		e.mu.Unlock()
 
 	case proto.OpQueryInputGain:
 		dev := proto.DecodeDeviceReq(r)
 		if !s.validDevice(dev) {
-			c.sendError(proto.ErrDevice, dev, req.op)
+			c.sendError(proto.ErrDevice, dev, req.op, seq)
 			return
 		}
-		s.sendGainReply(c, s.devices[dev].InputGain())
+		e := s.engineByDev[dev]
+		e.mu.Lock()
+		cur := s.devices[dev].InputGain()
+		e.mu.Unlock()
+		s.sendGainReply(c, cur, seq)
 
 	case proto.OpQueryOutputGain:
 		dev := proto.DecodeDeviceReq(r)
 		if !s.validDevice(dev) {
-			c.sendError(proto.ErrDevice, dev, req.op)
+			c.sendError(proto.ErrDevice, dev, req.op, seq)
 			return
 		}
-		s.sendGainReply(c, s.devices[dev].OutputGain())
+		e := s.engineByDev[dev]
+		e.mu.Lock()
+		cur := s.devices[dev].OutputGain()
+		e.mu.Unlock()
+		s.sendGainReply(c, cur, seq)
 
 	case proto.OpEnableInput, proto.OpEnableOutput, proto.OpDisableInput, proto.OpDisableOutput:
 		q := proto.DecodeDeviceMaskReq(r)
 		if !s.validDevice(q.Device) {
-			c.sendError(proto.ErrDevice, q.Device, req.op)
+			c.sendError(proto.ErrDevice, q.Device, req.op, seq)
 			return
 		}
 		d := s.devices[q.Device]
+		e := s.engineByDev[q.Device]
+		e.mu.Lock()
 		switch req.op {
 		case proto.OpEnableInput:
 			d.EnableInputs(q.Mask)
@@ -221,6 +298,7 @@ func (s *Server) dispatch(req *request) {
 		case proto.OpDisableOutput:
 			d.DisableOutputs(q.Mask)
 		}
+		e.mu.Unlock()
 
 	case proto.OpSetAccessControl:
 		s.accessEnabled = req.ext != 0
@@ -228,7 +306,7 @@ func (s *Server) dispatch(req *request) {
 	case proto.OpChangeHosts:
 		q := proto.DecodeChangeHosts(r, req.ext)
 		if r.Err != nil {
-			c.sendError(proto.ErrLength, 0, req.op)
+			c.sendError(proto.ErrLength, 0, req.op, seq)
 			return
 		}
 		s.handleChangeHosts(q)
@@ -240,60 +318,60 @@ func (s *Server) dispatch(req *request) {
 		if s.accessEnabled {
 			enabled = 1
 		}
-		c.sendReply(&proto.Reply{Data: enabled, Aux: uint32(len(s.accessList)), Extra: w.Buf})
+		c.sendReply(&proto.Reply{Data: enabled, Aux: uint32(len(s.accessList)), Extra: w.Buf}, seq)
 
 	case proto.OpInternAtom:
 		q := proto.DecodeInternAtom(r, req.ext)
 		if r.Err != nil {
-			c.sendError(proto.ErrLength, 0, req.op)
+			c.sendError(proto.ErrLength, 0, req.op, seq)
 			return
 		}
-		c.sendReply(&proto.Reply{Aux: s.atoms.intern(q.Name, q.OnlyIfExists)})
+		c.sendReply(&proto.Reply{Aux: s.atoms.intern(q.Name, q.OnlyIfExists)}, seq)
 
 	case proto.OpGetAtomName:
 		id := r.U32()
 		name := s.atoms.name(id)
 		if name == "" {
-			c.sendError(proto.ErrAtom, id, req.op)
+			c.sendError(proto.ErrAtom, id, req.op, seq)
 			return
 		}
 		w := proto.Writer{Order: c.order}
 		w.U16(uint16(len(name)))
 		w.Skip(2)
 		w.String4(name)
-		c.sendReply(&proto.Reply{Aux: uint32(len(name)), Extra: w.Buf})
+		c.sendReply(&proto.Reply{Aux: uint32(len(name)), Extra: w.Buf}, seq)
 
 	case proto.OpChangeProperty:
 		q := proto.DecodeChangeProperty(r, req.ext)
 		if r.Err != nil {
-			c.sendError(proto.ErrLength, 0, req.op)
+			c.sendError(proto.ErrLength, 0, req.op, seq)
 			return
 		}
-		s.handleChangeProperty(c, req.op, q)
+		s.handleChangeProperty(c, req.op, q, seq)
 
 	case proto.OpDeleteProperty:
 		q := proto.DecodeDeleteProperty(r)
 		if !s.validDevice(q.Device) {
-			c.sendError(proto.ErrDevice, q.Device, req.op)
+			c.sendError(proto.ErrDevice, q.Device, req.op, seq)
 			return
 		}
 		if !s.atoms.valid(q.Property) {
-			c.sendError(proto.ErrAtom, q.Property, req.op)
+			c.sendError(proto.ErrAtom, q.Property, req.op, seq)
 			return
 		}
 		if _, ok := s.props[q.Device][q.Property]; ok {
 			delete(s.props[q.Device], q.Property)
-			s.deliverEvent(int(q.Device), proto.EventPropertyChange, 1, q.Property)
+			s.deliverEvent(int(q.Device), s.deviceNow(q.Device), proto.EventPropertyChange, 1, q.Property)
 		}
 
 	case proto.OpGetProperty:
 		q := proto.DecodeGetProperty(r, req.ext)
-		s.handleGetProperty(c, req.op, q)
+		s.handleGetProperty(c, req.op, q, seq)
 
 	case proto.OpListProperties:
 		dev := proto.DecodeDeviceReq(r)
 		if !s.validDevice(dev) {
-			c.sendError(proto.ErrDevice, dev, req.op)
+			c.sendError(proto.ErrDevice, dev, req.op, seq)
 			return
 		}
 		w := proto.Writer{Order: c.order}
@@ -302,27 +380,27 @@ func (s *Server) dispatch(req *request) {
 			w.U32(atom)
 			n++
 		}
-		c.sendReply(&proto.Reply{Aux: uint32(n), Extra: w.Buf})
+		c.sendReply(&proto.Reply{Aux: uint32(n), Extra: w.Buf}, seq)
 
 	case proto.OpNoOperation:
 		// Non-blocking no-op: no reply.
 
 	case proto.OpSyncConnection:
 		// Round-trip no-op.
-		c.sendReply(&proto.Reply{})
+		c.sendReply(&proto.Reply{}, seq)
 
 	case proto.OpQueryExtension:
 		_ = proto.DecodeQueryExtension(r)
-		c.sendReply(&proto.Reply{Data: 0}) // no extensions are implemented
+		c.sendReply(&proto.Reply{Data: 0}, seq) // no extensions are implemented
 
 	case proto.OpListExtensions:
-		c.sendReply(&proto.Reply{Data: 0})
+		c.sendReply(&proto.Reply{Data: 0}, seq)
 
 	case proto.OpKillClient:
-		c.sendError(proto.ErrImplementation, 0, req.op)
+		c.sendError(proto.ErrImplementation, 0, req.op, seq)
 
 	default:
-		c.sendError(proto.ErrRequest, uint32(req.op), req.op)
+		c.sendError(proto.ErrRequest, uint32(req.op), req.op, seq)
 	}
 }
 
@@ -332,11 +410,11 @@ const (
 	maxDeviceGain = 30
 )
 
-func (s *Server) sendGainReply(c *client, cur int) {
+func (s *Server) sendGainReply(c *client, cur int, seq uint16) {
 	w := proto.Writer{Order: c.order}
 	w.I32(minDeviceGain)
 	w.I32(maxDeviceGain)
-	c.sendReply(&proto.Reply{Aux: uint32(int32(cur)), Extra: w.Buf})
+	c.sendReply(&proto.Reply{Aux: uint32(int32(cur)), Extra: w.Buf}, seq)
 }
 
 func (s *Server) validDevice(dev uint32) bool {
@@ -350,21 +428,13 @@ func (s *Server) lineFor(dev uint32) *phonesim.Line {
 	return s.lines[int(dev)]
 }
 
-func (s *Server) rootOf(dev uint32) *core.Device {
-	d := s.devices[dev]
-	if d.IsView() {
-		return d.Parent()
-	}
-	return d
-}
-
-func (s *Server) handleCreateAC(c *client, op uint8, q proto.CreateACReq) {
+func (s *Server) handleCreateAC(c *client, op uint8, q proto.CreateACReq, seq uint16) {
 	if !s.validDevice(q.Device) {
-		c.sendError(proto.ErrDevice, q.Device, op)
+		c.sendError(proto.ErrDevice, q.Device, op, seq)
 		return
 	}
 	if _, exists := c.acs[q.AC]; exists {
-		c.sendError(proto.ErrValue, q.AC, op)
+		c.sendError(proto.ErrValue, q.AC, op, seq)
 		return
 	}
 	d := s.devices[q.Device]
@@ -375,7 +445,7 @@ func (s *Server) handleCreateAC(c *client, op uint8, q proto.CreateACReq) {
 		enc:      d.Cfg.Enc,
 		channels: d.Cfg.Channels,
 	}
-	if !s.applyACAttrs(c, op, a, q.Mask, q.Attrs) {
+	if !s.applyACAttrs(c, op, a, q.Mask, q.Attrs, seq) {
 		return
 	}
 	c.acs[q.AC] = a
@@ -383,17 +453,17 @@ func (s *Server) handleCreateAC(c *client, op uint8, q proto.CreateACReq) {
 
 // applyACAttrs validates and applies masked attributes; it reports
 // success (errors have been sent on failure).
-func (s *Server) applyACAttrs(c *client, op uint8, a *ac, mask uint32, attrs proto.ACAttributes) bool {
+func (s *Server) applyACAttrs(c *client, op uint8, a *ac, mask uint32, attrs proto.ACAttributes, seq uint16) bool {
 	if mask&proto.ACEncoding != 0 {
 		e := sampleconv.Encoding(attrs.Type)
 		if !e.Valid() {
-			c.sendError(proto.ErrValue, uint32(attrs.Type), op)
+			c.sendError(proto.ErrValue, uint32(attrs.Type), op, seq)
 			return false
 		}
 		if e == sampleconv.ADPCM4 {
 			// The compressed conversion module handles mono streams.
 			if a.dev.Cfg.Channels != 1 {
-				c.sendError(proto.ErrMatch, uint32(attrs.Type), op)
+				c.sendError(proto.ErrMatch, uint32(attrs.Type), op, seq)
 				return false
 			}
 			a.playCoder = &sampleconv.ADPCMCoder{}
@@ -403,7 +473,7 @@ func (s *Server) applyACAttrs(c *client, op uint8, a *ac, mask uint32, attrs pro
 	}
 	if mask&proto.ACChannels != 0 {
 		if int(attrs.Channels) != a.dev.Cfg.Channels {
-			c.sendError(proto.ErrMatch, uint32(attrs.Channels), op)
+			c.sendError(proto.ErrMatch, uint32(attrs.Channels), op, seq)
 			return false
 		}
 		a.channels = int(attrs.Channels)
@@ -426,12 +496,9 @@ func (a *ac) clientFrameBytes() int {
 	return a.enc.BytesPerSamples(1) * a.channels
 }
 
-func (s *Server) handlePlay(c *client, req *request, q proto.PlaySamplesReq) {
-	a := c.acs[q.AC]
-	if a == nil {
-		c.sendError(proto.ErrAC, q.AC, req.op)
-		return
-	}
+// handlePlay runs under the owning engine's lock. It returns a park if
+// the request blocked; the caller registers it.
+func handlePlay(c *client, a *ac, req *request, q proto.PlaySamplesReq, seq uint16) *parked {
 	data := q.Data
 	enc := a.enc
 	if q.Flags&proto.SampleFlagBigEndian != 0 {
@@ -454,49 +521,44 @@ func (s *Server) handlePlay(c *client, req *request, q proto.PlaySamplesReq) {
 	res := a.dev.Play(atime.ATime(q.Time), data, enc, a.playGain, a.preempt)
 	if res.Blocked {
 		// The tail lies beyond the buffer horizon: block the connection
-		// until time advances (§6.1.5 "Beyond near future"). A pooled
-		// staging buffer stays checked out while the park references it.
+		// until time advances (§6.1.5 "Beyond near future"). The pooled
+		// request frame and any staging buffer stay checked out while the
+		// park references them.
 		cfb := enc.BytesPerSamples(1) * a.channels
-		c.park = &parked{
-			req:        req,
+		return &parked{
+			c: c, a: a, op: req.op, ext: req.ext, seq: seq,
+			frame:      req.frame,
+			done:       make(chan struct{}),
 			playData:   data[res.Consumed*cfb:],
 			playTime:   uint32(atime.Add(atime.ATime(q.Time), res.Consumed)),
 			playEnc:    enc,
 			playPooled: staged,
 		}
-		return
 	}
 	if staged != nil {
 		putBytes(staged)
 	}
 	if q.Flags&proto.SampleFlagSuppressReply == 0 {
-		c.sendReply(&proto.Reply{Time: uint32(res.Now)})
+		c.sendReply(&proto.Reply{Time: uint32(res.Now)}, seq)
 	}
+	return nil
 }
 
-func (s *Server) handleRecord(c *client, req *request, q proto.RecordSamplesReq) {
-	a := c.acs[q.AC]
-	if a == nil {
-		c.sendError(proto.ErrAC, q.AC, req.op)
-		return
-	}
+// handleRecord runs under e.mu. It returns a park if the request
+// blocked; the caller registers it.
+func handleRecord(c *client, a *ac, e *engine, req *request, q proto.RecordSamplesReq, seq uint16) *parked {
 	if q.NBytes > proto.MaxRequestBytes {
-		c.sendError(proto.ErrValue, q.NBytes, req.op)
-		return
+		c.sendError(proto.ErrValue, q.NBytes, req.op, seq)
+		return nil
 	}
 	if !a.recording {
 		// First record under this context: mark it and enable the
 		// periodic record update.
 		a.recording = true
-		root := a.dev
-		if root.IsView() {
-			root = root.Parent()
-		}
-		root.RecRefCount++
+		e.root.RecRefCount++
 	}
 	if a.enc == sampleconv.ADPCM4 {
-		s.handleRecordADPCM(c, req, q, a)
-		return
+		return handleRecordADPCM(c, a, e, req, q, seq)
 	}
 	cfb := a.clientFrameBytes()
 	want := int(q.NBytes) / cfb
@@ -510,53 +572,53 @@ func (s *Server) handleRecord(c *client, req *request, q proto.RecordSamplesReq)
 		// resume latency being small. The staging buffer returns to the
 		// pool; the retry checks one out again.
 		putBytes(dstp)
-		p := &parked{req: req}
-		c.park = p
+		p := &parked{c: c, a: a, op: req.op, ext: req.ext, seq: seq,
+			body: req.body, frame: req.frame, done: make(chan struct{})}
 		end := atime.Add(atime.ATime(q.Time), want)
-		deficit := int(atime.Sub(end, res.Now))
-		if deficit > 0 {
+		if deficit := int(atime.Sub(end, res.Now)); deficit > 0 {
 			wake := time.Duration(deficit)*time.Second/time.Duration(a.dev.Cfg.Rate) + time.Millisecond
-			s.tasks.addAfter(wake, func() {
-				if c.park == p && !c.gone {
-					s.retryParked(c)
+			e.addTaskLocked(wake, func() {
+				if e.parks[c] == p {
+					e.retryParked(c, p)
 				}
 			})
 		}
-		return
+		return p
 	}
-	s.sendRecordReply(c, a, q, (*dstp)[:res.Avail*cfb], res.Now)
+	sendRecordReply(c, a, q, (*dstp)[:res.Avail*cfb], res.Now, seq)
 	putBytes(dstp) // reply marshaling copied the data
+	return nil
 }
 
-func (s *Server) sendRecordReply(c *client, a *ac, q proto.RecordSamplesReq, data []byte, now atime.ATime) {
+func sendRecordReply(c *client, a *ac, q proto.RecordSamplesReq, data []byte, now atime.ATime, seq uint16) {
 	if q.Flags&proto.SampleFlagBigEndian != 0 {
 		sampleconv.SwapBytes(a.enc, data)
 	}
-	c.sendReply(&proto.Reply{Time: uint32(now), Aux: uint32(len(data)), Extra: data})
+	c.sendReply(&proto.Reply{Time: uint32(now), Aux: uint32(len(data)), Extra: data}, seq)
 }
 
 // handleRecordADPCM is the compressed record path: capture linear
 // samples, then run them through the context's ADPCM coder. A request for
-// NBytes of ADPCM covers 2*NBytes sample frames.
-func (s *Server) handleRecordADPCM(c *client, req *request, q proto.RecordSamplesReq, a *ac) {
+// NBytes of ADPCM covers 2*NBytes sample frames. Runs under e.mu.
+func handleRecordADPCM(c *client, a *ac, e *engine, req *request, q proto.RecordSamplesReq, seq uint16) *parked {
 	wantBytes := int(q.NBytes)
 	wantFrames := 2 * wantBytes
 	linp := getBytes(2 * wantFrames) // lin16 staging
 	res := a.dev.Record(atime.ATime(q.Time), *linp, sampleconv.LIN16, a.recGain)
 	if res.Avail < wantFrames && q.Flags&proto.SampleFlagNoBlock == 0 {
 		putBytes(linp)
-		p := &parked{req: req}
-		c.park = p
+		p := &parked{c: c, a: a, op: req.op, ext: req.ext, seq: seq,
+			body: req.body, frame: req.frame, done: make(chan struct{})}
 		end := atime.Add(atime.ATime(q.Time), wantFrames)
 		if deficit := int(atime.Sub(end, res.Now)); deficit > 0 {
 			wake := time.Duration(deficit)*time.Second/time.Duration(a.dev.Cfg.Rate) + time.Millisecond
-			s.tasks.addAfter(wake, func() {
-				if c.park == p && !c.gone {
-					s.retryParked(c)
+			e.addTaskLocked(wake, func() {
+				if e.parks[c] == p {
+					e.retryParked(c, p)
 				}
 			})
 		}
-		return
+		return p
 	}
 	frames := res.Avail &^ 1 // whole ADPCM bytes only
 	samplesp := getLin(frames)
@@ -565,107 +627,34 @@ func (s *Server) handleRecordADPCM(c *client, req *request, q proto.RecordSample
 	outp := getBytes(frames / 2)
 	a.recCoder.Encode(*outp, *samplesp)
 	putLin(samplesp)
-	c.sendReply(&proto.Reply{Time: uint32(res.Now), Aux: uint32(len(*outp)), Extra: *outp})
+	c.sendReply(&proto.Reply{Time: uint32(res.Now), Aux: uint32(len(*outp)), Extra: *outp}, seq)
 	putBytes(outp) // reply marshaling copied the data
+	return nil
 }
 
-// acIDOf extracts the AC id from a parked play/record request body.
-func acIDOf(req *request, order binary.ByteOrder) uint32 {
-	if len(req.body) < 4 {
-		return 0
-	}
-	return order.Uint32(req.body)
-}
-
-// retryParked re-attempts a blocked request after time has advanced.
-func (s *Server) retryParked(c *client) {
-	p := c.park
-	req := p.req
-	a := c.acs[acIDOf(req, c.order)]
-	if a == nil {
-		c.park = nil
-		s.drainPending(c)
-		return
-	}
-	switch req.op {
-	case proto.OpPlaySamples:
-		res := a.dev.Play(atime.ATime(p.playTime), p.playData, p.playEnc, a.playGain, a.preempt)
-		if res.Blocked {
-			cfb := p.playEnc.BytesPerSamples(1) * a.channels
-			p.playData = p.playData[res.Consumed*cfb:]
-			p.playTime = uint32(atime.Add(atime.ATime(p.playTime), res.Consumed))
-			return
-		}
-		c.park = nil
-		if p.playPooled != nil {
-			putBytes(p.playPooled)
-		}
-		if req.ext&proto.SampleFlagSuppressReply == 0 {
-			c.sendReply(&proto.Reply{Time: uint32(res.Now)})
-		}
-	case proto.OpRecordSamples:
-		r := proto.NewReader(c.order, req.body)
-		q := proto.DecodeRecordSamples(r, req.ext)
-		if a.enc == sampleconv.ADPCM4 {
-			linp := getBytes(4 * int(q.NBytes))
-			res := a.dev.Record(atime.ATime(q.Time), *linp, sampleconv.LIN16, a.recGain)
-			if res.Avail < 2*int(q.NBytes) {
-				putBytes(linp)
-				return // still short; stay parked (a wake task is pending)
-			}
-			c.park = nil
-			frames := res.Avail &^ 1
-			samplesp := getLin(frames)
-			sampleconv.ToLin16(*samplesp, *linp, sampleconv.LIN16, frames)
-			putBytes(linp)
-			outp := getBytes(frames / 2)
-			a.recCoder.Encode(*outp, *samplesp)
-			putLin(samplesp)
-			c.sendReply(&proto.Reply{Time: uint32(res.Now), Aux: uint32(len(*outp)), Extra: *outp})
-			putBytes(outp)
-			break
-		}
-		cfb := a.clientFrameBytes()
-		want := int(q.NBytes) / cfb
-		dstp := getBytes(want * cfb)
-		res := a.dev.Record(atime.ATime(q.Time), *dstp, a.enc, a.recGain)
-		if res.Avail < want {
-			// Still short (e.g. the clock runs slightly slow relative to
-			// the wall-clock estimate): try again shortly.
-			putBytes(dstp)
-			p := c.park
-			missing := want - res.Avail
-			wake := time.Duration(missing)*time.Second/time.Duration(a.dev.Cfg.Rate) + time.Millisecond
-			s.tasks.addAfter(wake, func() {
-				if c.park == p && !c.gone {
-					s.retryParked(c)
-				}
-			})
-			return
-		}
-		c.park = nil
-		s.sendRecordReply(c, a, q, *dstp, res.Now)
-		putBytes(dstp)
-	default:
-		c.park = nil
-	}
-	if c.park == nil {
-		s.drainPending(c)
-	}
-}
-
-func (s *Server) handleEnablePassThrough(c *client, op uint8, q proto.PassThroughReq) {
+// handleEnablePassThrough validates a patch request and registers it on
+// the lower-indexed engine, which pumps it (reaching the peer under an
+// ascending two-lock acquire).
+func (s *Server) handleEnablePassThrough(c *client, op uint8, q proto.PassThroughReq, seq uint16) {
 	if !s.validDevice(q.Device) || !s.validDevice(q.Other) {
-		c.sendError(proto.ErrDevice, q.Device, op)
+		c.sendError(proto.ErrDevice, q.Device, op, seq)
 		return
 	}
 	a, b := s.devices[q.Device], s.devices[q.Other]
 	if a == b || a.Cfg.Rate != b.Cfg.Rate || a.Cfg.Enc != b.Cfg.Enc ||
 		a.Cfg.Channels != b.Cfg.Channels || a.IsView() || b.IsView() {
-		c.sendError(proto.ErrMatch, q.Other, op)
+		c.sendError(proto.ErrMatch, q.Other, op, seq)
 		return
 	}
-	s.passThrough[a.Index] = newPatch(a, b)
+	lo, hi := s.engineByDev[a.Index], s.engineByDev[b.Index]
+	if hi.idx < lo.idx {
+		lo, hi = hi, lo
+	}
+	lo.mu.Lock()
+	hi.mu.Lock()
+	lo.patches[a.Index] = newPatch(a, b)
+	hi.mu.Unlock()
+	lo.mu.Unlock()
 }
 
 func (s *Server) handleChangeHosts(q proto.ChangeHostsReq) {
@@ -676,7 +665,12 @@ func (s *Server) handleChangeHosts(q proto.ChangeHostsReq) {
 				return
 			}
 		}
-		s.accessList = append(s.accessList, q.Host)
+		// Copy the address: q.Host.Addr aliases the pooled request frame,
+		// which is recycled after this dispatch returns.
+		s.accessList = append(s.accessList, proto.HostEntry{
+			Family: q.Host.Family,
+			Addr:   append([]byte(nil), q.Host.Addr...),
+		})
 	case proto.HostDelete:
 		out := s.accessList[:0]
 		for _, h := range s.accessList {
@@ -689,17 +683,17 @@ func (s *Server) handleChangeHosts(q proto.ChangeHostsReq) {
 	}
 }
 
-func (s *Server) handleChangeProperty(c *client, op uint8, q proto.ChangePropertyReq) {
+func (s *Server) handleChangeProperty(c *client, op uint8, q proto.ChangePropertyReq, seq uint16) {
 	if !s.validDevice(q.Device) {
-		c.sendError(proto.ErrDevice, q.Device, op)
+		c.sendError(proto.ErrDevice, q.Device, op, seq)
 		return
 	}
 	if !s.atoms.valid(q.Property) || !s.atoms.valid(q.Type) {
-		c.sendError(proto.ErrAtom, q.Property, op)
+		c.sendError(proto.ErrAtom, q.Property, op, seq)
 		return
 	}
 	if q.Format != 8 && q.Format != 16 && q.Format != 32 {
-		c.sendError(proto.ErrValue, uint32(q.Format), op)
+		c.sendError(proto.ErrValue, uint32(q.Format), op, seq)
 		return
 	}
 	props := s.props[q.Device]
@@ -710,7 +704,7 @@ func (s *Server) handleChangeProperty(c *client, op uint8, q proto.ChangePropert
 		props[q.Property] = &property{typ: q.Type, format: q.Format, data: data}
 	case proto.PropModePrepend, proto.PropModeAppend:
 		if old != nil && (old.typ != q.Type || old.format != q.Format) {
-			c.sendError(proto.ErrMatch, q.Property, op)
+			c.sendError(proto.ErrMatch, q.Property, op, seq)
 			return
 		}
 		if old == nil {
@@ -721,19 +715,19 @@ func (s *Server) handleChangeProperty(c *client, op uint8, q proto.ChangePropert
 			old.data = append(old.data, data...)
 		}
 	default:
-		c.sendError(proto.ErrValue, uint32(q.Mode), op)
+		c.sendError(proto.ErrValue, uint32(q.Mode), op, seq)
 		return
 	}
-	s.deliverEvent(int(q.Device), proto.EventPropertyChange, 0, q.Property)
+	s.deliverEvent(int(q.Device), s.deviceNow(q.Device), proto.EventPropertyChange, 0, q.Property)
 }
 
-func (s *Server) handleGetProperty(c *client, op uint8, q proto.GetPropertyReq) {
+func (s *Server) handleGetProperty(c *client, op uint8, q proto.GetPropertyReq, seq uint16) {
 	if !s.validDevice(q.Device) {
-		c.sendError(proto.ErrDevice, q.Device, op)
+		c.sendError(proto.ErrDevice, q.Device, op, seq)
 		return
 	}
 	if !s.atoms.valid(q.Property) {
-		c.sendError(proto.ErrAtom, q.Property, op)
+		c.sendError(proto.ErrAtom, q.Property, op, seq)
 		return
 	}
 	p := s.props[q.Device][q.Property]
@@ -741,22 +735,22 @@ func (s *Server) handleGetProperty(c *client, op uint8, q proto.GetPropertyReq) 
 	if p == nil {
 		w.U32(proto.AtomNone)
 		w.U32(0)
-		c.sendReply(&proto.Reply{Data: 0, Extra: w.Buf})
+		c.sendReply(&proto.Reply{Data: 0, Extra: w.Buf}, seq)
 		return
 	}
 	if q.Type != proto.AtomNone && q.Type != p.typ {
 		// Type mismatch: report the actual type, deliver no data.
 		w.U32(p.typ)
 		w.U32(0)
-		c.sendReply(&proto.Reply{Data: p.format, Extra: w.Buf})
+		c.sendReply(&proto.Reply{Data: p.format, Extra: w.Buf}, seq)
 		return
 	}
 	w.U32(p.typ)
 	w.U32(uint32(len(p.data)))
 	w.Bytes(p.data)
-	c.sendReply(&proto.Reply{Data: p.format, Aux: uint32(len(p.data)), Extra: w.Buf})
+	c.sendReply(&proto.Reply{Data: p.format, Aux: uint32(len(p.data)), Extra: w.Buf}, seq)
 	if q.Delete {
 		delete(s.props[q.Device], q.Property)
-		s.deliverEvent(int(q.Device), proto.EventPropertyChange, 1, q.Property)
+		s.deliverEvent(int(q.Device), s.deviceNow(q.Device), proto.EventPropertyChange, 1, q.Property)
 	}
 }

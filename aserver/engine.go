@@ -1,0 +1,338 @@
+package aserver
+
+import (
+	"sync"
+	"time"
+
+	"audiofile/internal/atime"
+	"audiofile/internal/core"
+	"audiofile/internal/phonesim"
+	"audiofile/internal/proto"
+	"audiofile/internal/sampleconv"
+)
+
+// engine is the data plane for one root device: it owns the device's
+// buffering state, its periodic update task, the parked (blocked)
+// requests touching it, its phone line pump, and the pass-through
+// patches it is responsible for pumping.
+//
+// Where the paper's DIA serializes every device behind one thread, each
+// engine serializes only its own root device behind e.mu. Hot requests
+// (PlaySamples, RecordSamples, GetTime) are dispatched inline by the
+// connection's reader goroutine under this lock; the control plane (the
+// Server.loop goroutine) takes the same lock for the rare control
+// operations that touch device state. The engine's own goroutine runs
+// the task timer: periodic updates and precise parked-request wake-ups.
+//
+// Lock ordering: an engine may lock a peer engine only in ascending
+// engine order (pass-through pumping runs on the lower-indexed engine
+// and reaches across to the higher); the control plane follows the same
+// ascending rule when it needs two engines; Server.clientMu is the
+// innermost lock (event fan-out).
+type engine struct {
+	s    *Server
+	idx  int // position in Server.engines, ascending root device index
+	root *core.Device
+	line *phonesim.Line
+
+	interval time.Duration // periodic update cadence
+
+	mu      sync.Mutex
+	tasks   *taskQueue          // guarded by mu; run by the engine goroutine
+	parks   map[*client]*parked // blocked requests on this device, by client
+	patches map[int]*patch      // pass-through patches pumped here, by src device index
+
+	wake    chan struct{} // pokes the engine goroutine to re-arm its timer
+	stopped chan struct{}
+}
+
+// parked captures a blocked request being resumed by the engine's task
+// mechanism: a play whose tail lies beyond the buffer horizon, or a
+// blocking record whose data has not been captured yet. The originating
+// reader goroutine waits on done before dispatching the connection's
+// next request, which preserves per-connection FIFO order across the
+// block. The pooled request frame stays pinned until the park finishes.
+type parked struct {
+	c     *client
+	a     *ac
+	op    uint8
+	ext   uint8
+	seq   uint16
+	body  []byte        // aliases frame when pooled (records re-decode per retry)
+	frame *[]byte       // pooled request frame; returned when the park finishes
+	done  chan struct{} // closed exactly once, when the park completes or is discarded
+
+	// play state: remaining data in playEnc (compressed contexts park
+	// already-decompressed data)
+	playData []byte
+	playTime uint32
+	playEnc  sampleconv.Encoding
+	// playPooled is set when playData aliases a pool-owned staging buffer
+	// (the ADPCM decompression output); it returns to the pool when the
+	// parked play finally completes.
+	playPooled *[]byte
+	// record state is re-derived from body on each retry
+}
+
+func newEngine(s *Server, idx int, root *core.Device, line *phonesim.Line) *engine {
+	hwDur := time.Duration(root.Backend().HWFrames()) * time.Second / time.Duration(root.Cfg.Rate)
+	interval := core.MSUpdate * time.Millisecond
+	if hwDur/2 < interval {
+		interval = hwDur / 2
+	}
+	e := &engine{
+		s:        s,
+		idx:      idx,
+		root:     root,
+		line:     line,
+		interval: interval,
+		tasks:    newTaskQueue(),
+		parks:    make(map[*client]*parked),
+		patches:  make(map[int]*patch),
+		wake:     make(chan struct{}, 1),
+		stopped:  make(chan struct{}),
+	}
+	// Seed the periodic update (§7.2): every interval, or half the
+	// hardware buffer duration if that is shorter.
+	var tick func()
+	tick = func() {
+		e.updateLocked()
+		e.tasks.add(time.Now().Add(e.interval), tick)
+	}
+	e.tasks.add(time.Now().Add(e.interval), tick)
+	return e
+}
+
+// run is the engine goroutine: it fires the engine's task queue. Task
+// functions run with e.mu held.
+func (e *engine) run() {
+	defer close(e.stopped)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for {
+		e.mu.Lock()
+		e.tasks.runDue(time.Now())
+		d := time.Hour
+		if when, ok := e.tasks.next(); ok {
+			d = time.Until(when)
+			if d < 0 {
+				d = 0
+			}
+		}
+		e.mu.Unlock()
+		timer.Reset(d)
+		select {
+		case <-timer.C:
+		case <-e.wake:
+			if !timer.Stop() {
+				<-timer.C
+			}
+		case <-e.s.done:
+			e.mu.Lock()
+			for c, p := range e.parks {
+				e.finishPark(c, p)
+			}
+			e.mu.Unlock()
+			return
+		}
+	}
+}
+
+// addTaskLocked schedules fn on the engine's timer (caller holds e.mu)
+// and pokes the engine goroutine in case the new deadline is earlier
+// than the one its timer is armed for.
+func (e *engine) addTaskLocked(d time.Duration, fn func()) {
+	e.tasks.add(time.Now().Add(d), fn)
+	select {
+	case e.wake <- struct{}{}:
+	default:
+	}
+}
+
+// updateLocked runs one periodic update for the engine's root device:
+// buffer maintenance, telephone events, pass-through patching, and
+// resumption of blocked requests. Caller holds e.mu.
+func (e *engine) updateLocked() {
+	e.root.Update()
+	if e.line != nil {
+		e.pumpLineEvents()
+	}
+	for _, p := range e.patches {
+		e.pumpPatch(p)
+	}
+	e.resumeParked()
+}
+
+// pumpLineEvents forwards pending telephone line events to interested
+// clients.
+func (e *engine) pumpLineEvents() {
+	for _, lev := range e.line.DrainEvents() {
+		var code uint8
+		switch lev.Kind {
+		case phonesim.EvRing:
+			code = proto.EventPhoneRing
+		case phonesim.EvDTMF:
+			code = proto.EventPhoneDTMF
+		case phonesim.EvLoop:
+			code = proto.EventPhoneLoop
+		case phonesim.EvHook:
+			code = proto.EventPhoneHookSwitch
+		}
+		e.s.deliverEvent(e.root.Index, e.root.Now(), code, lev.Detail, 0)
+	}
+}
+
+// peer returns the engine owning the patch endpoint that is not ours.
+func (e *engine) peer(p *patch) *engine {
+	other := p.a
+	if other == e.root {
+		other = p.b
+	}
+	return e.s.engineByDev[other.Index]
+}
+
+// pumpPatch moves newly recorded audio across a pass-through patch in
+// both directions. The patch is registered on the lower-indexed engine
+// (us); the peer's device state is reached under its lock, acquired in
+// ascending engine order.
+func (e *engine) pumpPatch(p *patch) {
+	peer := e.peer(p)
+	peer.mu.Lock()
+	pumpPatchDir(p.a, p.b, p.buf, &p.aTaken, &p.bOut)
+	pumpPatchDir(p.b, p.a, p.buf, &p.bTaken, &p.aOut)
+	peer.mu.Unlock()
+}
+
+func pumpPatchDir(src, dst *core.Device, buf []byte, taken *atime.ATime, out *atime.ATime) {
+	now := src.Now()
+	n := int(atime.Sub(now, *taken))
+	if n <= 0 {
+		return
+	}
+	max := len(buf) / src.FrameBytes()
+	for n > 0 {
+		c := n
+		if c > max {
+			c = max
+		}
+		chunk := buf[:c*src.FrameBytes()]
+		src.Record(*taken, chunk, src.Cfg.Enc, 0)
+		// Keep the output cursor inside dst's near future; resynchronize
+		// after stalls or clock drift.
+		lead := dst.Backend().HWFrames()
+		dnow := dst.Now()
+		if atime.Before(*out, dnow) || atime.After(*out, atime.Add(dnow, 2*lead)) {
+			*out = atime.Add(dnow, lead/2)
+		}
+		dst.Play(*out, chunk, src.Cfg.Enc, 0, false)
+		*out = atime.Add(*out, c)
+		*taken = atime.Add(*taken, c)
+		n -= c
+	}
+}
+
+// resumeParked retries every blocked request on this engine. Caller
+// holds e.mu.
+func (e *engine) resumeParked() {
+	for c, p := range e.parks {
+		e.retryParked(c, p)
+	}
+}
+
+// finishPark removes a park and releases everything it pinned: the
+// pooled request frame, any pooled staging buffer, and the reader
+// goroutine waiting on done. Caller holds e.mu.
+func (e *engine) finishPark(c *client, p *parked) {
+	delete(e.parks, c)
+	if p.playPooled != nil {
+		putBytes(p.playPooled)
+		p.playPooled = nil
+	}
+	if p.frame != nil {
+		putReqFrame(p.frame)
+		p.frame = nil
+	}
+	close(p.done)
+}
+
+// retryParked re-attempts a blocked request after time has advanced.
+// Caller holds e.mu.
+func (e *engine) retryParked(c *client, p *parked) {
+	if c.dead.Load() {
+		e.finishPark(c, p)
+		return
+	}
+	a := p.a
+	switch p.op {
+	case proto.OpPlaySamples:
+		res := a.dev.Play(atime.ATime(p.playTime), p.playData, p.playEnc, a.playGain, a.preempt)
+		if res.Blocked {
+			cfb := p.playEnc.BytesPerSamples(1) * a.channels
+			p.playData = p.playData[res.Consumed*cfb:]
+			p.playTime = uint32(atime.Add(atime.ATime(p.playTime), res.Consumed))
+			return
+		}
+		if p.ext&proto.SampleFlagSuppressReply == 0 {
+			c.sendReply(&proto.Reply{Time: uint32(res.Now)}, p.seq)
+		}
+		e.finishPark(c, p)
+	case proto.OpRecordSamples:
+		r := proto.NewReader(c.order, p.body)
+		q := proto.DecodeRecordSamples(r, p.ext)
+		if a.enc == sampleconv.ADPCM4 {
+			linp := getBytes(4 * int(q.NBytes))
+			res := a.dev.Record(atime.ATime(q.Time), *linp, sampleconv.LIN16, a.recGain)
+			if res.Avail < 2*int(q.NBytes) {
+				putBytes(linp)
+				return // still short; stay parked (a wake task is pending)
+			}
+			frames := res.Avail &^ 1
+			samplesp := getLin(frames)
+			sampleconv.ToLin16(*samplesp, *linp, sampleconv.LIN16, frames)
+			putBytes(linp)
+			outp := getBytes(frames / 2)
+			a.recCoder.Encode(*outp, *samplesp)
+			putLin(samplesp)
+			c.sendReply(&proto.Reply{Time: uint32(res.Now), Aux: uint32(len(*outp)), Extra: *outp}, p.seq)
+			putBytes(outp)
+			e.finishPark(c, p)
+			return
+		}
+		cfb := a.clientFrameBytes()
+		want := int(q.NBytes) / cfb
+		dstp := getBytes(want * cfb)
+		res := a.dev.Record(atime.ATime(q.Time), *dstp, a.enc, a.recGain)
+		if res.Avail < want {
+			// Still short (e.g. the clock runs slightly slow relative to
+			// the wall-clock estimate): try again shortly.
+			putBytes(dstp)
+			missing := want - res.Avail
+			wakeIn := time.Duration(missing)*time.Second/time.Duration(a.dev.Cfg.Rate) + time.Millisecond
+			e.addTaskLocked(wakeIn, func() {
+				if e.parks[c] == p {
+					e.retryParked(c, p)
+				}
+			})
+			return
+		}
+		sendRecordReply(c, a, q, *dstp, res.Now, p.seq)
+		putBytes(dstp)
+		e.finishPark(c, p)
+	default:
+		e.finishPark(c, p)
+	}
+}
+
+// dropClientParks discards any park the client holds on this engine,
+// releasing its pinned buffers and its reader (if still waiting). Called
+// by the control plane when a client unregisters.
+func (e *engine) dropClientParks(c *client) {
+	e.mu.Lock()
+	if p, ok := e.parks[c]; ok {
+		e.finishPark(c, p)
+	}
+	e.mu.Unlock()
+}

@@ -6,17 +6,22 @@ import (
 
 	"audiofile/internal/atime"
 	"audiofile/internal/core"
-	"audiofile/internal/phonesim"
 	"audiofile/internal/proto"
 )
 
-// loop is the server's single thread of control: the analogue of the
-// WaitForSomething()/Dispatch() cycle. It owns all device, client, atom,
-// and property state.
+// loop is the server's control plane: the analogue of the paper's
+// WaitForSomething()/Dispatch() cycle, slimmed to the operations that
+// touch genuinely global state (client registry, atoms, properties, host
+// access, AC lifecycle, pass-through enables). The data plane — plays,
+// records, time queries — runs on the per-device engines without passing
+// through here.
 func (s *Server) loop() {
 	defer close(s.stopped)
 	timer := time.NewTimer(time.Hour)
 	defer timer.Stop()
+	// armedFor is the deadline the timer was last armed for; zero while
+	// the queue is empty (the timer idles at an hour).
+	var armedFor time.Time
 	arm := func() {
 		if when, ok := s.tasks.next(); ok {
 			d := time.Until(when)
@@ -24,69 +29,74 @@ func (s *Server) loop() {
 				d = 0
 			}
 			timer.Reset(d)
+			armedFor = when
 		} else {
 			timer.Reset(time.Hour)
+			armedFor = time.Time{}
 		}
 	}
 	arm()
 	for {
 		select {
 		case c := <-s.regCh:
+			s.clientMu.Lock()
 			s.clients[c] = struct{}{}
+			s.clientMu.Unlock()
 		case c := <-s.unregCh:
 			s.removeClient(c)
 		case req := <-s.reqCh:
-			if req.c.gone {
-				break
+			if !req.c.dead.Load() {
+				s.dispatch(req)
 			}
-			if req.c.park != nil {
-				// The connection is blocked mid-request; preserve FIFO
-				// semantics by queueing what follows.
-				req.c.pending = append(req.c.pending, req)
-				break
+			if req.done != nil {
+				close(req.done)
 			}
-			s.dispatch(req)
 		case fn := <-s.funcCh:
 			fn()
-			arm()
 		case <-timer.C:
 			s.tasks.runDue(time.Now())
+			armedFor = time.Time{}
 			arm()
 		case <-s.done:
+			s.clientMu.RLock()
+			cs := make([]*client, 0, len(s.clients))
 			for c := range s.clients {
-				s.dropClient(c)
+				cs = append(cs, c)
+			}
+			s.clientMu.RUnlock()
+			for _, c := range cs {
+				s.removeClient(c)
 			}
 			return
 		}
-		// Re-arm after any work that may have scheduled tasks.
-		if len(s.reqCh) == 0 {
+		// Re-arm whenever the earliest deadline moved up. This used to be
+		// skipped while the request channel was non-empty, which delayed
+		// freshly scheduled tasks under sustained load.
+		if when, ok := s.tasks.next(); ok && (armedFor.IsZero() || when.Before(armedFor)) {
 			arm()
 		}
 	}
 }
 
-// dropClient severs a client immediately (queue overflow, shutdown).
-func (s *Server) dropClient(c *client) {
-	if c.gone {
-		return
-	}
-	c.conn.Close()
-	s.removeClient(c)
-}
-
-// removeClient releases a client's loop-side resources.
+// removeClient releases a client's server-side resources. Runs in the
+// loop, either after the reader exited (unregister) or at shutdown.
 func (s *Server) removeClient(c *client) {
-	if c.gone {
+	if c.removed {
 		return
 	}
-	c.gone = true
+	c.removed = true
+	c.dead.Store(true)
+	s.clientMu.Lock()
 	delete(s.clients, c)
+	s.clientMu.Unlock()
+	// Discard any blocked request the client still holds; this releases
+	// its pinned buffers and its reader if it is waiting on the park.
+	for _, e := range s.engines {
+		e.dropClientParks(c)
+	}
 	for _, a := range c.acs {
 		s.releaseAC(a)
 	}
-	c.acs = nil
-	c.park = nil
-	c.pending = nil
 	// Wake the writer so it drains and closes the conn, and unblock the
 	// reader.
 	close(c.closed)
@@ -94,56 +104,25 @@ func (s *Server) removeClient(c *client) {
 
 // releaseAC undoes an audio context's device-side bookkeeping.
 func (s *Server) releaseAC(a *ac) {
-	if a.recording {
-		root := a.dev
-		if root.IsView() {
-			root = root.Parent()
-		}
-		root.RecRefCount--
-		a.recording = false
+	if !a.recording {
+		return
 	}
-}
-
-// updateDevice runs one periodic update for a root device: buffer
-// maintenance, telephone events, pass-through patching, and resumption of
-// blocked requests.
-func (s *Server) updateDevice(d *core.Device) {
-	d.Update()
-	if line := s.lines[d.Index]; line != nil {
-		s.pumpLineEvents(d, line)
-	}
-	if p := s.passThrough[d.Index]; p != nil {
-		s.pumpPatch(p)
-	}
-	s.resumeParked(d)
-}
-
-// pumpLineEvents forwards pending telephone line events to interested
-// clients.
-func (s *Server) pumpLineEvents(d *core.Device, line *phonesim.Line) {
-	for _, lev := range line.DrainEvents() {
-		var code uint8
-		switch lev.Kind {
-		case phonesim.EvRing:
-			code = proto.EventPhoneRing
-		case phonesim.EvDTMF:
-			code = proto.EventPhoneDTMF
-		case phonesim.EvLoop:
-			code = proto.EventPhoneLoop
-		case phonesim.EvHook:
-			code = proto.EventPhoneHookSwitch
-		}
-		s.deliverEvent(d.Index, code, lev.Detail, 0)
-	}
+	e := s.engineByDev[a.devIndex]
+	e.mu.Lock()
+	e.root.RecRefCount--
+	a.recording = false
+	e.mu.Unlock()
 }
 
 // deliverEvent sends an event to every client that selected its class on
-// the device. Per §5.2, events carry both the device time and the server
-// host's clock time.
-func (s *Server) deliverEvent(devIndex int, code uint8, detail byte, value uint32) {
+// the device. Per §5.2, events carry both the device time (supplied by
+// the caller, read under the owning engine's lock) and the server host's
+// clock time. Safe from the loop and from engine goroutines.
+func (s *Server) deliverEvent(devIndex int, now atime.ATime, code uint8, detail byte, value uint32) {
 	mask := proto.EventMaskFor(code)
-	now := s.devices[devIndex].Now()
 	host := time.Now()
+	s.clientMu.RLock()
+	defer s.clientMu.RUnlock()
 	for c := range s.clients {
 		if c.eventMasks[devIndex]&mask == 0 {
 			continue
@@ -161,47 +140,38 @@ func (s *Server) deliverEvent(devIndex int, code uint8, detail byte, value uint3
 	}
 }
 
-// resumeParked retries blocked requests touching device d.
-func (s *Server) resumeParked(d *core.Device) {
-	root := d
-	if root.IsView() {
-		root = root.Parent()
-	}
-	for c := range s.clients {
-		if c.park == nil {
-			continue
-		}
-		a := c.acs[acIDOf(c.park.req, c.order)]
-		if a == nil {
-			// AC vanished mid-block; drop the request.
-			c.park = nil
-			s.drainPending(c)
-			continue
-		}
-		pr := a.dev
-		if pr.IsView() {
-			pr = pr.Parent()
-		}
-		if pr != root {
-			continue
-		}
-		s.retryParked(c)
-	}
+// deviceTime reads a device's buffer-write time under its engine's lock.
+func (s *Server) deviceTime(dev uint32) atime.ATime {
+	e := s.engineByDev[dev]
+	e.mu.Lock()
+	t := s.devices[dev].Time()
+	e.mu.Unlock()
+	return t
 }
 
-// drainPending dispatches requests queued behind a block, stopping if one
-// of them blocks in turn.
-func (s *Server) drainPending(c *client) {
-	for len(c.pending) > 0 && c.park == nil && !c.gone {
-		req := c.pending[0]
-		c.pending = c.pending[1:]
-		s.dispatch(req)
-	}
+// deviceNow reads a device's current time under its engine's lock.
+func (s *Server) deviceNow(dev uint32) atime.ATime {
+	e := s.engineByDev[dev]
+	e.mu.Lock()
+	t := s.devices[dev].Now()
+	e.mu.Unlock()
+	return t
+}
+
+// updateEngine runs one update cycle on the engine owning dev, used by
+// control operations that need an immediate device-side effect (hook
+// events, shutdown flushes).
+func (s *Server) updateEngine(dev uint32) {
+	e := s.engineByDev[dev]
+	e.mu.Lock()
+	e.updateLocked()
+	e.mu.Unlock()
 }
 
 // patch is an enabled pass-through connection between two devices
 // (§7.4.1): audio recorded on one is played on the other, both ways,
-// entirely inside the server.
+// entirely inside the server. The staging buffer lives on the patch for
+// its whole life, so pumping never allocates.
 type patch struct {
 	a, b   *core.Device
 	aTaken atime.ATime // recorded frames of a consumed through here
@@ -211,7 +181,8 @@ type patch struct {
 	buf    []byte
 }
 
-// newPatch wires devices a and b together starting at their current times.
+// newPatch wires devices a and b together starting at their current
+// times. Both engines' locks are held by the caller.
 func newPatch(a, b *core.Device) *patch {
 	lead := a.Backend().HWFrames() / 2
 	return &patch{
@@ -221,55 +192,6 @@ func newPatch(a, b *core.Device) *patch {
 		bOut: atime.Add(b.Now(), lead),
 		buf:  make([]byte, 4096*a.FrameBytes()),
 	}
-}
-
-// pumpPatch moves newly recorded audio across the patch in both
-// directions.
-func (s *Server) pumpPatch(p *patch) {
-	s.pumpPatchDir(p.a, p.b, &p.aTaken, &p.bOut)
-	s.pumpPatchDir(p.b, p.a, &p.bTaken, &p.aOut)
-}
-
-func (s *Server) pumpPatchDir(src, dst *core.Device, taken *atime.ATime, out *atime.ATime) {
-	now := src.Now()
-	n := int(atime.Sub(now, *taken))
-	if n <= 0 {
-		return
-	}
-	max := len(s.passScratch(src)) / src.FrameBytes()
-	for n > 0 {
-		c := n
-		if c > max {
-			c = max
-		}
-		buf := s.passScratch(src)[:c*src.FrameBytes()]
-		src.Record(*taken, buf, src.Cfg.Enc, 0)
-		// Keep the output cursor inside dst's near future; resynchronize
-		// after stalls or clock drift.
-		lead := dst.Backend().HWFrames()
-		dnow := dst.Now()
-		if atime.Before(*out, dnow) || atime.After(*out, atime.Add(dnow, 2*lead)) {
-			*out = atime.Add(dnow, lead/2)
-		}
-		dst.Play(*out, buf, src.Cfg.Enc, 0, false)
-		*out = atime.Add(*out, c)
-		*taken = atime.Add(*taken, c)
-		n -= c
-	}
-}
-
-// passScratch returns a staging buffer for pass-through copies.
-func (s *Server) passScratch(d *core.Device) []byte {
-	if p := s.passThrough[d.Index]; p != nil {
-		return p.buf
-	}
-	// The reverse direction uses the patch registered on the peer.
-	for _, p := range s.passThrough {
-		if p.a == d || p.b == d {
-			return p.buf
-		}
-	}
-	return make([]byte, 4096*d.FrameBytes())
 }
 
 // hostAllowed applies host-based access control to a new connection.

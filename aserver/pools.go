@@ -16,6 +16,7 @@ var (
 	bytePool = sync.Pool{New: func() any { return new([]byte) }}
 	linPool  = sync.Pool{New: func() any { return new([]int16) }}
 	msgPool  = sync.Pool{New: func() any { return new([]byte) }}
+	reqPool  = sync.Pool{New: func() any { return new([]byte) }}
 )
 
 // getBytes checks out a []byte of length n.
@@ -52,3 +53,18 @@ func getMsg() *[]byte {
 }
 
 func putMsg(p *[]byte) { msgPool.Put(p) }
+
+// getReqFrame checks out a request-body buffer of length n for the
+// reader's ingress path. The frame is returned as soon as the request
+// has been dispatched — or, for a request that blocked, when its park
+// completes, since the parked state aliases the frame until then.
+func getReqFrame(n int) *[]byte {
+	p := reqPool.Get().(*[]byte)
+	if cap(*p) < n {
+		*p = make([]byte, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putReqFrame(p *[]byte) { reqPool.Put(p) }

@@ -1,15 +1,20 @@
 // Package aserver implements the AudioFile server: the device-independent
-// audio (DIA) main loop, the request dispatcher, the task mechanism, host
-// access control, atoms and properties, and the built-in device-dependent
-// (DDA) backends over simulated hardware.
+// audio (DIA) dispatcher, the task mechanism, host access control, atoms
+// and properties, and the built-in device-dependent (DDA) backends over
+// simulated hardware.
 //
-// Like the paper's server, the DIA is single threaded: one goroutine owns
-// every device, client, and table. Per-connection goroutines do only
-// transport work — framing requests into the loop and draining the outgoing
-// message queue — the Go analogue of the select()-driven file descriptors
-// in the C implementation. Fairness comes from round-robin servicing of
-// the request channel, with large transfers already broken into 8 KiB
-// chunks by the client library.
+// Where the paper's DIA is single threaded, this server is split into a
+// control plane and a sharded data plane. The loop goroutine keeps the
+// genuinely global state (client registry, atoms, properties, host
+// access, AC lifecycle); each root device gets an engine — a mutex plus
+// a timer goroutine — that owns its buffering state, periodic update,
+// parked requests, and phone-line/patch pumps. Hot requests
+// (PlaySamples, RecordSamples, GetTime) are dispatched inline by the
+// connection's reader goroutine under the owning engine's lock, so
+// independent devices are served in parallel and the per-request channel
+// hop of the single-loop design disappears. Per-connection FIFO order
+// and per-device serialization are preserved; see DESIGN.md ("Threading
+// model") for the invariants.
 //
 // A Server is embeddable: tests, benchmarks, and the example programs run
 // one in-process and connect over Unix or TCP sockets (or a pipe).
@@ -21,7 +26,7 @@ import (
 	"log"
 	"net"
 	"sync"
-	"time"
+	"sync/atomic"
 
 	"audiofile/internal/core"
 	"audiofile/internal/lineserver"
@@ -101,12 +106,20 @@ type Server struct {
 	atoms *atomTable
 	props []map[uint32]*property // by device index
 
-	clients map[*client]struct{}
+	// engines is the sharded data plane: one per root device, in
+	// ascending device order. engineByDev maps every device index
+	// (views included) to its root's engine. Both are immutable after New.
+	engines     []*engine
+	engineByDev []*engine
+
+	// clientMu guards the clients set and each client's eventMasks: the
+	// loop writes them, engine goroutines read them to fan out events.
+	// It is the innermost lock (engines may take it; never the reverse).
+	clientMu sync.RWMutex
+	clients  map[*client]struct{}
 
 	accessEnabled bool
 	accessList    []proto.HostEntry
-
-	passThrough map[int]*patch // src device index -> patch
 
 	gainControl bool // EnableGainControl/DisableGainControl state
 
@@ -117,6 +130,8 @@ type Server struct {
 	done    chan struct{}
 	stopped chan struct{}
 
+	// tasks is the control plane's own timer queue (telephone re-hook
+	// and the like); per-device periodic work lives on the engines.
 	tasks *taskQueue
 
 	mu        sync.Mutex
@@ -126,7 +141,7 @@ type Server struct {
 	wg        sync.WaitGroup
 
 	// Stats observed by afperf.
-	requestCount uint64
+	requestCount atomic.Uint64
 }
 
 // New builds the devices and starts the server loop.
@@ -149,7 +164,6 @@ func New(opts Options) (*Server, error) {
 		atoms:         newAtomTable(),
 		clients:       make(map[*client]struct{}),
 		accessEnabled: opts.AccessControl,
-		passThrough:   make(map[int]*patch),
 		reqCh:         make(chan *request, 64),
 		regCh:         make(chan *client),
 		unregCh:       make(chan *client, 8),
@@ -170,7 +184,25 @@ func New(opts Options) (*Server, error) {
 	for range s.devices {
 		s.props = append(s.props, make(map[uint32]*property))
 	}
-	s.scheduleUpdates()
+	// Build the data plane: one engine per root device (views share their
+	// parent's), each seeded with its periodic update task (§7.2).
+	roots := make(map[*core.Device]*engine)
+	for _, d := range s.devices {
+		root := d
+		if d.IsView() {
+			root = d.Parent()
+		}
+		e := roots[root]
+		if e == nil {
+			e = newEngine(s, len(s.engines), root, s.lines[root.Index])
+			roots[root] = e
+			s.engines = append(s.engines, e)
+		}
+		s.engineByDev = append(s.engineByDev, e)
+	}
+	for _, e := range s.engines {
+		go e.run()
+	}
 	go s.loop()
 	return s, nil
 }
@@ -319,35 +351,6 @@ func deviceDesc(d *core.Device) proto.DeviceDesc {
 	}
 }
 
-// scheduleUpdates arms the periodic update task for each root device
-// (§7.2): every MSUpdate milliseconds, or half the hardware buffer
-// duration if that is shorter.
-func (s *Server) scheduleUpdates() {
-	seen := make(map[*core.Device]bool)
-	for _, d := range s.devices {
-		root := d
-		if d.IsView() {
-			root = d.Parent()
-		}
-		if seen[root] {
-			continue
-		}
-		seen[root] = true
-		hwDur := time.Duration(root.Backend().HWFrames()) * time.Second / time.Duration(root.Cfg.Rate)
-		interval := core.MSUpdate * time.Millisecond
-		if hwDur/2 < interval {
-			interval = hwDur / 2
-		}
-		dev := root
-		var tick func()
-		tick = func() {
-			s.updateDevice(dev)
-			s.tasks.add(time.Now().Add(interval), tick)
-		}
-		s.tasks.add(time.Now().Add(interval), tick)
-	}
-}
-
 // Device returns the core device at index i (for embedding harnesses).
 func (s *Server) Device(i int) *core.Device { return s.devices[i] }
 
@@ -379,19 +382,13 @@ func (s *Server) Do(fn func()) {
 }
 
 // Sync forces one update cycle on every device, synchronously. Tests with
-// manual clocks call this instead of waiting for the periodic task.
+// manual clocks call this instead of waiting for the periodic tasks.
 func (s *Server) Sync() {
 	s.Do(func() {
-		seen := make(map[*core.Device]bool)
-		for _, d := range s.devices {
-			root := d
-			if d.IsView() {
-				root = d.Parent()
-			}
-			if !seen[root] {
-				seen[root] = true
-				s.updateDevice(root)
-			}
+		for _, e := range s.engines {
+			e.mu.Lock()
+			e.updateLocked()
+			e.mu.Unlock()
 		}
 	})
 }
@@ -460,6 +457,9 @@ func (s *Server) Close() {
 	}
 	close(s.done)
 	<-s.stopped
+	for _, e := range s.engines {
+		<-e.stopped
+	}
 	s.wg.Wait()
 	for _, fn := range s.closers {
 		fn()

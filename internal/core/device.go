@@ -45,8 +45,9 @@ type Config struct {
 }
 
 // Device is the device-independent server's view of one audio device: the
-// paper's AudioDeviceRec. It is owned by the server's single-threaded main
-// loop and is not safe for concurrent use.
+// paper's AudioDeviceRec. It is not safe for concurrent use: the server
+// serializes all access to a root device (and its views) behind that
+// device's engine lock — see the "Threading model" section of DESIGN.md.
 type Device struct {
 	Cfg     Config
 	Index   int

@@ -96,21 +96,43 @@ type Message struct {
 	Reply *Reply
 	Error *ErrorMsg
 	Event *Event
+
+	// Inline storage used by ReadMessageInto so a reused Message reads
+	// the steady-state reply stream without allocating. The exported
+	// pointers above refer into it (valid until the next ReadMessageInto).
+	reply Reply
+	errm  ErrorMsg
+	event Event
+	extra []byte // reusable Extra backing store
 }
 
 // ReadMessage reads the next server-to-client message from the stream.
 func ReadMessage(rd io.Reader, order binary.ByteOrder) (*Message, error) {
+	m := new(Message)
+	if err := ReadMessageInto(rd, order, m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ReadMessageInto reads the next server-to-client message into m, reusing
+// m's inline storage — including the Extra capacity left by a previous
+// reply — so a caller that keeps one Message per connection reads the
+// reply stream allocation-free. The message's Reply/Error/Event (and any
+// Extra bytes) are only valid until the next call with the same m.
+func ReadMessageInto(rd io.Reader, order binary.ByteOrder, m *Message) error {
+	m.Reply, m.Error, m.Event = nil, nil, nil
 	var first [1]byte
 	if _, err := io.ReadFull(rd, first[:]); err != nil {
-		return nil, err
+		return err
 	}
 	switch first[0] {
 	case MsgReply:
 		var hdr [ReplyHeaderBytes - 1]byte
 		if _, err := io.ReadFull(rd, hdr[:]); err != nil {
-			return nil, err
+			return err
 		}
-		p := &Reply{
+		m.reply = Reply{
 			Data: hdr[0],
 			Seq:  order.Uint16(hdr[1:]),
 			Time: order.Uint32(hdr[7:]),
@@ -118,29 +140,35 @@ func ReadMessage(rd io.Reader, order binary.ByteOrder) (*Message, error) {
 		}
 		extraLen := int(order.Uint32(hdr[3:])) * 4
 		if extraLen > 0 {
-			p.Extra = make([]byte, extraLen)
-			if _, err := io.ReadFull(rd, p.Extra); err != nil {
-				return nil, err
+			if cap(m.extra) < extraLen {
+				m.extra = make([]byte, extraLen)
+			}
+			m.reply.Extra = m.extra[:extraLen]
+			if _, err := io.ReadFull(rd, m.reply.Extra); err != nil {
+				return err
 			}
 		}
-		return &Message{Reply: p}, nil
+		m.Reply = &m.reply
+		return nil
 	case MsgError:
 		var rest [EventBytes - 1]byte
 		if _, err := io.ReadFull(rd, rest[:]); err != nil {
-			return nil, err
+			return err
 		}
-		return &Message{Error: &ErrorMsg{
+		m.errm = ErrorMsg{
 			Code:     rest[0],
 			Seq:      order.Uint16(rest[1:]),
 			BadValue: order.Uint32(rest[3:]),
 			MajorOp:  rest[7],
-		}}, nil
+		}
+		m.Error = &m.errm
+		return nil
 	default:
 		var rest [EventBytes - 1]byte
 		if _, err := io.ReadFull(rd, rest[:]); err != nil {
-			return nil, err
+			return err
 		}
-		return &Message{Event: &Event{
+		m.event = Event{
 			Code:     first[0],
 			Detail:   rest[0],
 			Seq:      order.Uint16(rest[1:]),
@@ -149,6 +177,8 @@ func ReadMessage(rd io.Reader, order binary.ByteOrder) (*Message, error) {
 			HostSec:  order.Uint32(rest[11:]),
 			HostNsec: order.Uint32(rest[15:]),
 			Value:    order.Uint32(rest[19:]),
-		}}, nil
+		}
+		m.Event = &m.event
+		return nil
 	}
 }
