@@ -193,12 +193,21 @@ func (ac *AC) sampleFlags() uint8 {
 	return 0
 }
 
+// playVectorBytes is the payload size at which PlaySamples switches to
+// the scatter-gather path: below it, copying into the request buffer is
+// cheaper than assembling an iovec list.
+const playVectorBytes = 2048
+
+// padZero supplies the 32-bit-boundary pad for unaligned payloads.
+var padZero [4]byte
+
 // PlaySamples plays a block of samples starting at the given device time
 // (AFPlaySamples). Data scheduled for the past is discarded by the
 // server; data in the near future is buffered; data beyond the server's
 // buffer blocks until it fits. Long blocks are sent in 8 KiB chunks with
 // the reply suppressed on all but the last, so the call costs one round
-// trip. It returns the current device time.
+// trip. Large blocks go to the kernel scatter-gather, straight from the
+// caller's slice. It returns the current device time.
 func (ac *AC) PlaySamples(t ATime, data []byte) (ATime, error) {
 	c := ac.conn
 	c.mu.Lock()
@@ -207,6 +216,9 @@ func (ac *AC) PlaySamples(t ATime, data []byte) (ATime, error) {
 	chunk := proto.ChunkBytes / fb * fb
 	if chunk == 0 {
 		chunk = fb
+	}
+	if len(data) >= playVectorBytes {
+		return ac.playVectored(t, data, chunk)
 	}
 	for off := 0; ; {
 		n := len(data) - off
@@ -240,14 +252,87 @@ func (ac *AC) PlaySamples(t ATime, data []byte) (ATime, error) {
 	}
 }
 
+// playVectored ships a large play request scatter-gather: the chunk
+// headers are marshaled into the request buffer, but the sample data
+// reaches the kernel as iovecs pointing straight at the caller's slice —
+// it is never copied into the library. One vectored write carries any
+// previously queued requests, every chunk header, and every chunk body.
+func (ac *AC) playVectored(t ATime, data []byte, chunk int) (ATime, error) {
+	c := ac.conn
+	seq0 := c.sentSeq
+	base := len(c.w.Buf)
+	c.hdrEnds = c.hdrEnds[:0]
+	for off := 0; off < len(data); {
+		n := len(data) - off
+		last := n <= chunk
+		if !last {
+			n = chunk
+		}
+		flags := ac.sampleFlags()
+		if !last {
+			flags |= proto.SampleFlagSuppressReply
+		}
+		err := proto.AppendPlaySamplesHeader(&c.w, proto.PlaySamplesReq{
+			AC:    ac.id,
+			Time:  uint32(t),
+			Flags: flags,
+		}, n)
+		if err != nil {
+			c.w.Buf = c.w.Buf[:base]
+			c.sentSeq = seq0
+			return 0, err
+		}
+		c.sentSeq++
+		c.hdrEnds = append(c.hdrEnds, len(c.w.Buf))
+		t = t.Add(ac.bytesToFrames(n))
+		off += n
+	}
+	lastSeq := c.sentSeq
+	// Build the iovec list only after every header is in place: appending
+	// may grow (and so move) the request buffer, which would invalidate
+	// slices taken earlier.
+	vec := c.pvec[:0]
+	prev := 0
+	for i, he := range c.hdrEnds {
+		vec = append(vec, c.w.Buf[prev:he])
+		prev = he
+		off := i * chunk
+		n := len(data) - off
+		if n > chunk {
+			n = chunk
+		}
+		vec = append(vec, data[off:off+n])
+		if pad := proto.Pad4(n) - n; pad > 0 {
+			vec = append(vec, padZero[:pad])
+		}
+	}
+	c.pvec = vec
+	if err := c.writeVectored(vec); err != nil {
+		return 0, err
+	}
+	rep, err := c.awaitReply(lastSeq)
+	if err != nil {
+		return 0, err
+	}
+	return ATime(rep.Time), nil
+}
+
 // RecordSamples records len(buf) bytes of samples beginning at the given
 // device time (AFRecordSamples). With block true the call returns only
 // once all requested data has been captured; otherwise it returns
 // whatever is immediately available. It returns the current device time
 // and the number of bytes stored into buf.
 //
-// Long requests are chunked: each 8 KiB chunk completes synchronously
-// before the next is sent, as in the C library.
+// Long requests are chunked at 8 KiB, as in the C library, but the
+// chunks are pipelined: every request is issued up front in one flush,
+// then the replies are consumed in order, each payload read from the
+// socket straight into buf. A large record costs one round trip instead
+// of one per chunk, and the sample data is copied exactly once — kernel
+// socket buffer to buf.
+//
+// Because replies are read directly, a short (non-blocking) chunk's
+// 32-bit-boundary pad lands in buf inside the requested chunk region,
+// just past the returned byte count.
 func (ac *AC) RecordSamples(t ATime, buf []byte, block bool) (ATime, int, error) {
 	c := ac.conn
 	c.mu.Lock()
@@ -261,37 +346,60 @@ func (ac *AC) RecordSamples(t ATime, buf []byte, block bool) (ATime, int, error)
 	if !block {
 		flags |= proto.SampleFlagNoBlock
 	}
-	total := 0
-	now := ATime(0)
-	for off := 0; off < len(buf); {
+	seq0 := c.sentSeq
+	nchunks := 0
+	for off := 0; off < len(buf); off += chunk {
 		n := len(buf) - off
 		if n > chunk {
 			n = chunk
 		}
 		err := proto.AppendRecordSamples(&c.w, proto.RecordSamplesReq{
 			AC:     ac.id,
-			Time:   uint32(t),
+			Time:   uint32(t.Add(ac.bytesToFrames(off))),
 			NBytes: uint32(n),
 			Flags:  flags,
 		})
 		if err != nil {
-			return now, total, err
+			return 0, 0, err
 		}
 		c.sentSeq++
-		rep, err := c.awaitReply(c.sentSeq)
-		if err != nil {
-			return now, total, err
+		nchunks++
+	}
+	total := 0
+	now := ATime(0)
+	short := false // a chunk came back partial: discard the rest
+	var firstErr error
+	for i := 0; i < nchunks; i++ {
+		off := i * chunk
+		n := len(buf) - off
+		if n > chunk {
+			n = chunk
 		}
-		got := copy(buf[off:off+n], rep.Extra[:min(int(rep.Aux), len(rep.Extra))])
+		var dst []byte
+		if !short && firstErr == nil {
+			dst = buf[off : off+n]
+		}
+		rep, err := c.awaitReplyDirect(seq0+uint16(i)+1, dst)
+		if err != nil {
+			if _, ok := err.(*ProtoError); !ok {
+				return now, total, err // transport failure: replies are gone
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue // drain the remaining pipelined replies
+		}
+		if short || firstErr != nil {
+			continue // data past the short chunk was never asked for
+		}
+		got := min(int(rep.Aux), len(rep.Extra))
 		now = ATime(rep.Time)
 		total += got
-		off += got
-		t = t.Add(ac.bytesToFrames(got))
 		if got < n {
-			break // non-blocking record ran out of captured data
+			short = true // non-blocking record ran out of captured data
 		}
 	}
-	return now, total, nil
+	return now, total, firstErr
 }
 
 func min(a, b int) int {

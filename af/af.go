@@ -199,6 +199,15 @@ type Conn struct {
 	w       proto.Writer // outgoing request buffer
 	sentSeq uint16       // sequence number of the last request buffered
 
+	// pvec and hdrEnds are the reusable scatter-gather state for large
+	// play requests (AC.playVectored): the iovec list handed to the
+	// kernel, and the end offsets of the chunk headers inside w.Buf.
+	// wvec is the net.Buffers view consumed by WriteTo; it lives on the
+	// Conn so taking its address does not allocate per write.
+	pvec    [][]byte
+	hdrEnds []int
+	wvec    net.Buffers
+
 	events []*Event
 
 	vendor  string
@@ -250,6 +259,11 @@ func Open(name string) (*Conn, error) {
 	conn, err := net.Dial(network, addr)
 	if err != nil {
 		return nil, fmt.Errorf("af: can't open connection to %s: %w", name, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		// Interactive request/reply traffic: never let Nagle hold a small
+		// request behind an unacknowledged flush.
+		tc.SetNoDelay(true) //nolint:errcheck
 	}
 	c, err := NewConn(conn)
 	if err != nil {

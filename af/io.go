@@ -1,10 +1,8 @@
 package af
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
-	"io"
 	"net"
 	"os"
 	"time"
@@ -88,7 +86,7 @@ func (c *Conn) pollMessage() (*proto.Message, bool, error) {
 		return nil, false, c.ioErr
 	}
 	c.conn.SetReadDeadline(time.Now().Add(time.Millisecond)) //nolint:errcheck
-	b, err := c.br.ReadByte()
+	_, err := c.br.ReadByte()
 	c.conn.SetReadDeadline(time.Time{}) //nolint:errcheck
 	if err != nil {
 		var ne net.Error
@@ -97,7 +95,13 @@ func (c *Conn) pollMessage() (*proto.Message, bool, error) {
 		}
 		return nil, false, c.ioError(err)
 	}
-	if err := proto.ReadMessageInto(io.MultiReader(bytes.NewReader([]byte{b}), c.br), c.order, &c.rmsg); err != nil {
+	// Put the probe byte back and parse from the buffered reader itself:
+	// UnreadByte is always valid immediately after ReadByte, and it avoids
+	// building a two-reader chain (and two allocations) per poll.
+	if err := c.br.UnreadByte(); err != nil {
+		return nil, false, c.ioError(err)
+	}
+	if err := proto.ReadMessageInto(c.br, c.order, &c.rmsg); err != nil {
 		return nil, false, c.ioError(err)
 	}
 	return &c.rmsg, true, nil
@@ -144,14 +148,27 @@ func protoErrFromWire(e *proto.ErrorMsg) *ProtoError {
 // awaitReply flushes and reads until the reply (or error) for the request
 // with the given sequence number arrives.
 func (c *Conn) awaitReply(seq uint16) (*proto.Reply, error) {
+	return c.awaitReplyDirect(seq, nil)
+}
+
+// awaitReplyDirect is awaitReply with a zero-copy destination: when dst is
+// non-nil, the awaited reply's sample payload is read from the socket
+// straight into dst (the returned Reply.Extra aliases dst) instead of
+// passing through the connection's scratch message. Other messages
+// arriving first — events, errors, replies to earlier requests — take the
+// ordinary path and leave dst untouched.
+func (c *Conn) awaitReplyDirect(seq uint16, dst []byte) (*proto.Reply, error) {
 	if err := c.flushLocked(); err != nil {
 		return nil, err
 	}
 	for {
-		msg, err := c.readMessage()
-		if err != nil {
-			return nil, err
+		if c.ioErr != nil {
+			return nil, c.ioErr
 		}
+		if err := proto.ReadMessageDirect(c.br, c.order, &c.rmsg, seq, dst); err != nil {
+			return nil, c.ioError(err)
+		}
+		msg := &c.rmsg
 		if msg.Reply != nil && msg.Reply.Seq == seq {
 			return msg.Reply, nil
 		}
@@ -160,6 +177,30 @@ func (c *Conn) awaitReply(seq uint16) (*proto.Reply, error) {
 		}
 		c.dispatchAsync(msg)
 	}
+}
+
+// writeVectored ships the queued request bytes plus caller-owned sample
+// slices in one vectored write (writev on TCP and Unix sockets), then
+// resets the request buffer. Large play payloads go to the kernel
+// straight from the caller's slice; they are never copied into the
+// library's buffer. The vector is consumed by the write.
+func (c *Conn) writeVectored(vec [][]byte) error {
+	if c.ioErr != nil {
+		return c.ioErr
+	}
+	if c.closed {
+		return errClosed
+	}
+	// WriteTo consumes the view (advancing and dropping entries), so hand
+	// it a throwaway alias of vec; the backing list stays reusable.
+	c.wvec = vec
+	_, err := c.wvec.WriteTo(c.conn)
+	c.wvec = nil
+	c.w.Reset()
+	if err != nil {
+		return c.ioError(err)
+	}
+	return nil
 }
 
 // syncLocked performs a round-trip no-op (AFSync): it flushes the output

@@ -95,6 +95,11 @@ func (s *Server) handleConn(conn net.Conn) {
 	defer func() {
 		// The writer goroutine owns closing the conn after draining.
 	}()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		// Request and reply boundaries matter more than segment
+		// coalescing for an interactive audio stream.
+		tc.SetNoDelay(!s.opts.TCPDelay) //nolint:errcheck
+	}
 	conn.SetDeadline(time.Now().Add(30 * time.Second))
 	setup, order, err := proto.ReadSetupRequest(conn)
 	if err != nil {
@@ -166,13 +171,41 @@ func hotOp(op uint8) bool {
 		op == proto.OpGetTime
 }
 
+// readerBufBytes sizes the reader's framing buffer. It is deliberately
+// small: headers and control bodies batch through it (dozens of 8–16 byte
+// requests per refill), while bulk sample payloads overflow it and are
+// read by readBodyDirect straight from the socket into the pooled frame,
+// skipping the intermediate copy a large bufio buffer would force.
+const readerBufBytes = 512
+
+// readBodyDirect fills body with the request bytes following the header:
+// whatever the framing reader has already buffered is taken from it, and
+// the remainder is read straight from the socket into the pooled frame.
+func readBodyDirect(br *bufio.Reader, conn io.Reader, body []byte) error {
+	n := br.Buffered()
+	if n > len(body) {
+		n = len(body)
+	}
+	if n > 0 {
+		if _, err := io.ReadFull(br, body[:n]); err != nil {
+			return err
+		}
+	}
+	if n < len(body) {
+		if _, err := io.ReadFull(conn, body[n:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // reader frames requests off the wire and dispatches them: hot ops
 // inline to the owning engine, control ops through the loop. It reads
 // one request ahead of a blocked (parked) request — the read keeps
 // disconnect detection live while parked; the barrier before dispatch
 // keeps per-connection FIFO order.
 func (c *client) reader() {
-	br := bufio.NewReaderSize(c.conn, 64<<10)
+	br := bufio.NewReaderSize(c.conn, readerBufBytes)
 	var hdr [4]byte
 	req := &request{c: c} // reused across hot requests; parks copy out of it
 	var await *parked     // outstanding blocked request, if any
@@ -186,7 +219,7 @@ func (c *client) reader() {
 			break
 		}
 		framep := getReqFrame(n - 4)
-		if _, err := io.ReadFull(br, *framep); err != nil {
+		if err := readBodyDirect(br, c.conn, *framep); err != nil {
 			putReqFrame(framep)
 			break
 		}
@@ -241,51 +274,73 @@ func (c *client) reader() {
 	}
 }
 
+// maxWriteVec bounds how many queued messages one vectored write
+// gathers. It caps the pooled buffers the writer can hold checked out at
+// once; the kernel-side iovec limit is handled by net.Buffers itself.
+const maxWriteVec = 64
+
 // writer drains the outgoing queue onto the wire until the loop closes
-// the client (c.closed). Message buffers return to the pool once their
-// bytes have been handed to the bufio layer (which copies).
+// the client (c.closed). Queued messages are gathered into one vectored
+// write (writev on TCP and Unix sockets), so marshaled bytes go from the
+// pooled message buffers to the kernel without the intermediate copy a
+// bufio layer would make. Buffers return to the pool once their vector
+// has been written.
 func (c *client) writer() {
-	bw := bufio.NewWriterSize(c.conn, 64<<10)
 	defer c.conn.Close()
+	vec := make([][]byte, 0, maxWriteVec)
+	owned := make([]*[]byte, 0, maxWriteVec)
+	// bufs lives outside flush: WriteTo takes its address, and a closure
+	// local would escape to the heap on every call.
+	var bufs net.Buffers
+	flush := func() error {
+		if len(vec) == 0 {
+			return nil
+		}
+		bufs = vec
+		_, err := bufs.WriteTo(c.conn)
+		bufs = nil
+		for _, m := range owned {
+			putMsg(m)
+		}
+		vec, owned = vec[:0], owned[:0]
+		return err
+	}
 	for {
 		var msg *[]byte
 		select {
 		case msg = <-c.outCh:
 		case <-c.closed:
-			// Drain anything already queued, then flush and go.
+			// Drain anything already queued, then write and go.
 			for {
 				select {
 				case msg = <-c.outCh:
-					bw.Write(*msg) //nolint:errcheck
-					putMsg(msg)
+					vec = append(vec, *msg)
+					owned = append(owned, msg)
+					if len(vec) == maxWriteVec && flush() != nil {
+						return
+					}
 					continue
 				default:
 				}
 				break
 			}
-			bw.Flush() //nolint:errcheck
+			flush() //nolint:errcheck — connection is going away
 			return
 		}
-		_, err := bw.Write(*msg)
-		putMsg(msg)
-		if err != nil {
-			return
-		}
-		// Coalesce whatever else is queued before flushing.
-		for {
+		vec = append(vec, *msg)
+		owned = append(owned, msg)
+		// Coalesce whatever else is queued into the same vector.
+		for len(vec) < maxWriteVec {
 			select {
 			case more := <-c.outCh:
-				_, err := bw.Write(*more)
-				putMsg(more)
-				if err != nil {
-					return
-				}
+				vec = append(vec, *more)
+				owned = append(owned, more)
 				continue
 			default:
 			}
 			break
 		}
-		if err := bw.Flush(); err != nil {
+		if err := flush(); err != nil {
 			return
 		}
 	}
@@ -312,6 +367,36 @@ func (c *client) send(msg *[]byte) bool {
 		c.conn.Close()
 		return false
 	}
+}
+
+// newRecordReplyMsg checks out a wire message for a record reply with
+// room for n payload bytes and returns the message and its payload
+// region. The record path hands the payload region to the device, which
+// converts samples from the record ring straight into it (under the
+// owning engine's lock), then seals the message with finishRecordReply.
+func newRecordReplyMsg(n int) (m *[]byte, payload []byte) {
+	m = getMsg()
+	buf := msgBytes(m, proto.ReplyHeaderBytes+proto.Pad4(n))
+	return m, buf[proto.ReplyHeaderBytes : proto.ReplyHeaderBytes+n]
+}
+
+// finishRecordReply seals and queues a record reply whose first n payload
+// bytes the device has already converted in place: byte-swap for
+// opposite-order sample data, truncate to the delivered length, zero the
+// pad, stamp the header. The sample data is never staged anywhere but
+// the wire message itself.
+func finishRecordReply(c *client, a *ac, m *[]byte, n int, now uint32, flags uint8, seq uint16) {
+	buf := *m
+	if flags&proto.SampleFlagBigEndian != 0 {
+		sampleconv.SwapBytes(a.enc, buf[proto.ReplyHeaderBytes:proto.ReplyHeaderBytes+n])
+	}
+	total := proto.ReplyHeaderBytes + proto.Pad4(n)
+	for i := proto.ReplyHeaderBytes + n; i < total; i++ {
+		buf[i] = 0
+	}
+	*m = buf[:total]
+	proto.PutReplyHeader(c.order, buf, &proto.Reply{Seq: seq, Time: now, Aux: uint32(n)}, n)
+	c.send(m)
 }
 
 // sendReply marshals and queues a reply for the request carrying seq.

@@ -562,16 +562,21 @@ func handleRecord(c *client, a *ac, e *engine, req *request, q proto.RecordSampl
 	}
 	cfb := a.clientFrameBytes()
 	want := int(q.NBytes) / cfb
-	dstp := getBytes(want * cfb)
-	res := a.dev.Record(atime.ATime(q.Time), *dstp, a.enc, a.recGain)
+	// Scatter-gather egress: check out the wire message up front and let
+	// the device convert samples from the record ring straight into its
+	// payload region. The engine lock we hold makes the in-place marshal
+	// safe — nothing else can touch the ring or advance device time while
+	// the conversion runs, and the message is private until c.send.
+	m, payload := newRecordReplyMsg(want * cfb)
+	res := a.dev.Record(atime.ATime(q.Time), payload, a.enc, a.recGain)
 	if res.Avail < want && q.Flags&proto.SampleFlagNoBlock == 0 {
 		// Blocking record: the connection waits until all requested data
 		// has been captured. Schedule a precise wake-up task for the
 		// moment the last sample will exist, rather than waiting for the
 		// next periodic update — real-time clients (apass) depend on the
-		// resume latency being small. The staging buffer returns to the
+		// resume latency being small. The wire message returns to the
 		// pool; the retry checks one out again.
-		putBytes(dstp)
+		putMsg(m)
 		p := &parked{c: c, a: a, op: req.op, ext: req.ext, seq: seq,
 			body: req.body, frame: req.frame, done: make(chan struct{})}
 		end := atime.Add(atime.ATime(q.Time), want)
@@ -585,16 +590,8 @@ func handleRecord(c *client, a *ac, e *engine, req *request, q proto.RecordSampl
 		}
 		return p
 	}
-	sendRecordReply(c, a, q, (*dstp)[:res.Avail*cfb], res.Now, seq)
-	putBytes(dstp) // reply marshaling copied the data
+	finishRecordReply(c, a, m, res.Avail*cfb, uint32(res.Now), q.Flags, seq)
 	return nil
-}
-
-func sendRecordReply(c *client, a *ac, q proto.RecordSamplesReq, data []byte, now atime.ATime, seq uint16) {
-	if q.Flags&proto.SampleFlagBigEndian != 0 {
-		sampleconv.SwapBytes(a.enc, data)
-	}
-	c.sendReply(&proto.Reply{Time: uint32(now), Aux: uint32(len(data)), Extra: data}, seq)
 }
 
 // handleRecordADPCM is the compressed record path: capture linear
@@ -624,11 +621,13 @@ func handleRecordADPCM(c *client, a *ac, e *engine, req *request, q proto.Record
 	samplesp := getLin(frames)
 	sampleconv.ToLin16(*samplesp, *linp, sampleconv.LIN16, frames)
 	putBytes(linp)
-	outp := getBytes(frames / 2)
-	a.recCoder.Encode(*outp, *samplesp)
+	// The coder's output goes straight into the wire message payload; the
+	// compressed bytes are never staged separately. flags=0: ADPCM data
+	// is a byte stream, never byte-swapped.
+	m, payload := newRecordReplyMsg(frames / 2)
+	a.recCoder.Encode(payload, *samplesp)
 	putLin(samplesp)
-	c.sendReply(&proto.Reply{Time: uint32(res.Now), Aux: uint32(len(*outp)), Extra: *outp}, seq)
-	putBytes(outp) // reply marshaling copied the data
+	finishRecordReply(c, a, m, frames/2, uint32(res.Now), 0, seq)
 	return nil
 }
 

@@ -293,22 +293,21 @@ func (e *engine) retryParked(c *client, p *parked) {
 			samplesp := getLin(frames)
 			sampleconv.ToLin16(*samplesp, *linp, sampleconv.LIN16, frames)
 			putBytes(linp)
-			outp := getBytes(frames / 2)
-			a.recCoder.Encode(*outp, *samplesp)
+			m, payload := newRecordReplyMsg(frames / 2)
+			a.recCoder.Encode(payload, *samplesp)
 			putLin(samplesp)
-			c.sendReply(&proto.Reply{Time: uint32(res.Now), Aux: uint32(len(*outp)), Extra: *outp}, p.seq)
-			putBytes(outp)
+			finishRecordReply(c, a, m, frames/2, uint32(res.Now), 0, p.seq)
 			e.finishPark(c, p)
 			return
 		}
 		cfb := a.clientFrameBytes()
 		want := int(q.NBytes) / cfb
-		dstp := getBytes(want * cfb)
-		res := a.dev.Record(atime.ATime(q.Time), *dstp, a.enc, a.recGain)
+		m, payload := newRecordReplyMsg(want * cfb)
+		res := a.dev.Record(atime.ATime(q.Time), payload, a.enc, a.recGain)
 		if res.Avail < want {
 			// Still short (e.g. the clock runs slightly slow relative to
 			// the wall-clock estimate): try again shortly.
-			putBytes(dstp)
+			putMsg(m)
 			missing := want - res.Avail
 			wakeIn := time.Duration(missing)*time.Second/time.Duration(a.dev.Cfg.Rate) + time.Millisecond
 			e.addTaskLocked(wakeIn, func() {
@@ -318,8 +317,7 @@ func (e *engine) retryParked(c *client, p *parked) {
 			})
 			return
 		}
-		sendRecordReply(c, a, q, *dstp, res.Now, p.seq)
-		putBytes(dstp)
+		finishRecordReply(c, a, m, want*cfb, uint32(res.Now), q.Flags, p.seq)
 		e.finishPark(c, p)
 	default:
 		e.finishPark(c, p)

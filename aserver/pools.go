@@ -54,6 +54,17 @@ func getMsg() *[]byte {
 
 func putMsg(p *[]byte) { msgPool.Put(p) }
 
+// msgBytes grows a checked-out message buffer to exactly n bytes and
+// returns it. The record path sizes its reply message up front and lets
+// the device convert samples straight into the payload region.
+func msgBytes(p *[]byte, n int) []byte {
+	if cap(*p) < n {
+		*p = make([]byte, n)
+	}
+	*p = (*p)[:n]
+	return *p
+}
+
 // getReqFrame checks out a request-body buffer of length n for the
 // reader's ingress path. The frame is returned as soon as the request
 // has been dispatched — or, for a request that blocked, when its park

@@ -38,6 +38,7 @@ func main() {
 	devices := flag.String("devices", "phone,codec:loopback,hifi",
 		"comma-separated device specs: phone | codec[:loopback] | hifi[:rate] | lineserver:addr")
 	console := flag.Bool("console", false, "read exchange-control commands from stdin")
+	nodelay := flag.Bool("nodelay", true, "set TCP_NODELAY on accepted TCP connections (disable to let Nagle coalesce)")
 	verbose := flag.Bool("verbose", false, "log server diagnostics")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off by default")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file until shutdown")
@@ -79,6 +80,7 @@ func main() {
 		Vendor:        "audiofile-go afd",
 		Devices:       specs,
 		AccessControl: *ac,
+		TCPDelay:      !*nodelay,
 		Logf:          logf,
 	})
 	if err != nil {

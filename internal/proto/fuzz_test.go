@@ -42,6 +42,41 @@ func FuzzReadMessage(f *testing.F) {
 	})
 }
 
+// FuzzReadMessageDirect drives the zero-copy reply reader with truncated
+// and length-corrupted inputs. Unlike FuzzReadMessage it does not cap the
+// declared extra length by hand: the reader's own MaxReplyExtraBytes
+// guard must reject oversized claims before allocating.
+func FuzzReadMessageDirect(f *testing.F) {
+	w := &Writer{Order: binary.LittleEndian}
+	(&Reply{Seq: 1, Aux: 8, Extra: []byte{1, 2, 3, 4, 5, 6, 7, 8}}).Encode(w)
+	whole := append([]byte(nil), w.Buf...)
+	f.Add(whole, uint16(1), 8)
+	f.Add(whole, uint16(2), 8) // seq mismatch: scratch path
+	f.Add(whole, uint16(1), 3) // dst shorter than payload: tail discarded
+	for cut := 1; cut < len(whole); cut += 5 {
+		f.Add(append([]byte(nil), whole[:cut]...), uint16(1), 8) // truncated
+	}
+	over := append([]byte(nil), whole...)
+	binary.LittleEndian.PutUint32(over[4:8], 1<<30) // absurd declared length
+	f.Add(over, uint16(1), 8)
+	f.Fuzz(func(t *testing.T, data []byte, seq uint16, dstLen int) {
+		if dstLen < 0 || dstLen > 1<<16 {
+			return
+		}
+		dst := make([]byte, dstLen)
+		var m Message
+		err := ReadMessageDirect(bytes.NewReader(data), binary.LittleEndian, &m, seq, dst)
+		if err == nil && m.Reply == nil && m.Error == nil && m.Event == nil {
+			t.Fatal("no message and no error")
+		}
+		if m.Reply != nil && len(m.Reply.Extra) > 0 && m.Reply.Seq == seq && dstLen > 0 {
+			if len(m.Reply.Extra) > dstLen {
+				t.Fatalf("direct read overran dst: %d > %d", len(m.Reply.Extra), dstLen)
+			}
+		}
+	})
+}
+
 func FuzzReadSetupRequest(f *testing.F) {
 	var buf bytes.Buffer
 	(&SetupRequest{ByteOrder: 'l', Major: 2, AuthName: "COOKIE", AuthData: []byte{1}}).Send(&buf) //nolint:errcheck

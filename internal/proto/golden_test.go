@@ -1,0 +1,162 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// Wire-level golden tests for the two bulk sample messages. The split
+// marshal entry points (PutReplyHeader, AppendPlaySamplesHeader) exist so
+// the scatter-gather paths can stamp headers around payloads produced in
+// place; these tests pin the wire form in both byte orders and prove the
+// split marshal is byte-identical to the staged one.
+
+var wireOrders = []struct {
+	name  string
+	order binary.ByteOrder
+}{
+	{"little", binary.LittleEndian},
+	{"big", binary.BigEndian},
+}
+
+func TestRecordReplyWireGolden(t *testing.T) {
+	payload := []byte{0x10, 0x20, 0x30, 0x40, 0x50} // 5 bytes: exercises the pad
+	rep := Reply{Seq: 0x0102, Time: 0x11223344, Aux: uint32(len(payload))}
+	golden := map[string][]byte{
+		"little": {
+			MsgReply, 0, // type, data
+			0x02, 0x01, // seq
+			0x02, 0x00, 0x00, 0x00, // extra length / 4 (Pad4(5) = 8)
+			0x44, 0x33, 0x22, 0x11, // time
+			0x05, 0x00, 0x00, 0x00, // aux = delivered byte count
+			0x10, 0x20, 0x30, 0x40, 0x50, 0, 0, 0, // payload + pad
+		},
+		"big": {
+			MsgReply, 0,
+			0x01, 0x02,
+			0x00, 0x00, 0x00, 0x02,
+			0x11, 0x22, 0x33, 0x44,
+			0x00, 0x00, 0x00, 0x05,
+			0x10, 0x20, 0x30, 0x40, 0x50, 0, 0, 0,
+		},
+	}
+	for _, o := range wireOrders {
+		t.Run(o.name, func(t *testing.T) {
+			// Staged marshal through the Writer.
+			w := &Writer{Order: o.order}
+			r := rep
+			r.Extra = payload
+			r.Encode(w)
+			if !bytes.Equal(w.Buf, golden[o.name]) {
+				t.Errorf("Encode:\n got % x\nwant % x", w.Buf, golden[o.name])
+			}
+			// Scatter-gather marshal: payload written in place first, header
+			// stamped after, as the server's record egress does.
+			buf := make([]byte, ReplyHeaderBytes+Pad4(len(payload)))
+			copy(buf[ReplyHeaderBytes:], payload)
+			PutReplyHeader(o.order, buf, &rep, len(payload))
+			if !bytes.Equal(buf, golden[o.name]) {
+				t.Errorf("PutReplyHeader:\n got % x\nwant % x", buf, golden[o.name])
+			}
+			// Round trip through the ordinary reader.
+			var m Message
+			if err := ReadMessageInto(bytes.NewReader(buf), o.order, &m); err != nil {
+				t.Fatal(err)
+			}
+			if m.Reply == nil || m.Reply.Seq != rep.Seq || m.Reply.Time != rep.Time ||
+				m.Reply.Aux != rep.Aux || !bytes.Equal(m.Reply.Extra, buf[ReplyHeaderBytes:]) {
+				t.Errorf("round trip mismatch: %+v", m.Reply)
+			}
+			// Round trip through the direct reader: the payload must land in
+			// the caller's buffer, not the scratch message.
+			dst := make([]byte, len(payload))
+			var md Message
+			if err := ReadMessageDirect(bytes.NewReader(buf), o.order, &md, rep.Seq, dst); err != nil {
+				t.Fatal(err)
+			}
+			if md.Reply == nil || &md.Reply.Extra[0] != &dst[0] {
+				t.Error("direct read did not alias the destination buffer")
+			}
+			if !bytes.Equal(dst, payload) {
+				t.Errorf("direct read: got % x, want % x", dst, payload)
+			}
+		})
+	}
+}
+
+func TestPlayRequestWireGolden(t *testing.T) {
+	data := []byte{1, 2, 3, 4, 5, 6} // 6 bytes: exercises the pad
+	q := PlaySamplesReq{AC: 7, Time: 0x0A0B0C0D, Flags: SampleFlagSuppressReply}
+	golden := map[string][]byte{
+		"little": {
+			OpPlaySamples, SampleFlagSuppressReply,
+			0x06, 0x00, // length/4: (16 + Pad4(6)) / 4
+			0x07, 0x00, 0x00, 0x00, // AC
+			0x0D, 0x0C, 0x0B, 0x0A, // time
+			0x06, 0x00, 0x00, 0x00, // NBytes
+			1, 2, 3, 4, 5, 6, 0, 0, // data + pad
+		},
+		"big": {
+			OpPlaySamples, SampleFlagSuppressReply,
+			0x00, 0x06,
+			0x00, 0x00, 0x00, 0x07,
+			0x0A, 0x0B, 0x0C, 0x0D,
+			0x00, 0x00, 0x00, 0x06,
+			1, 2, 3, 4, 5, 6, 0, 0,
+		},
+	}
+	for _, o := range wireOrders {
+		t.Run(o.name, func(t *testing.T) {
+			// Staged marshal: data copied through the request buffer.
+			w := &Writer{Order: o.order}
+			qd := q
+			qd.Data = data
+			if err := AppendPlaySamples(w, qd); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(w.Buf, golden[o.name]) {
+				t.Errorf("AppendPlaySamples:\n got % x\nwant % x", w.Buf, golden[o.name])
+			}
+			// Scatter-gather marshal: header alone, then the caller's data
+			// and pad as separate slices, as the client's vectored play does.
+			hw := &Writer{Order: o.order}
+			if err := AppendPlaySamplesHeader(hw, q, len(data)); err != nil {
+				t.Fatal(err)
+			}
+			gathered := append([]byte(nil), hw.Buf...)
+			gathered = append(gathered, data...)
+			for len(gathered)%4 != 0 {
+				gathered = append(gathered, 0)
+			}
+			if !bytes.Equal(gathered, golden[o.name]) {
+				t.Errorf("AppendPlaySamplesHeader:\n got % x\nwant % x", gathered, golden[o.name])
+			}
+			// Aligned payloads need no pad; the two marshals must still agree.
+			w.Reset()
+			qd.Data = data[:4]
+			if err := AppendPlaySamples(w, qd); err != nil {
+				t.Fatal(err)
+			}
+			hw.Reset()
+			if err := AppendPlaySamplesHeader(hw, q, 4); err != nil {
+				t.Fatal(err)
+			}
+			gathered = append(append([]byte(nil), hw.Buf...), data[:4]...)
+			if !bytes.Equal(gathered, w.Buf) {
+				t.Errorf("aligned payload:\n staged % x\ngather % x", w.Buf, gathered)
+			}
+		})
+	}
+}
+
+func TestAppendPlaySamplesHeaderOversized(t *testing.T) {
+	w := &Writer{Order: binary.LittleEndian}
+	w.U8(0xAA) // pre-existing queued byte must survive a failed append
+	if err := AppendPlaySamplesHeader(w, PlaySamplesReq{}, MaxRequestBytes); err == nil {
+		t.Fatal("expected error for oversized request")
+	}
+	if len(w.Buf) != 1 || w.Buf[0] != 0xAA {
+		t.Errorf("failed append modified the buffer: % x", w.Buf)
+	}
+}

@@ -2,6 +2,7 @@ package proto
 
 import (
 	"encoding/binary"
+	"fmt"
 	"io"
 )
 
@@ -35,14 +36,25 @@ type Reply struct {
 
 // Encode appends the reply to w.
 func (p *Reply) Encode(w *Writer) {
-	w.U8(MsgReply)
-	w.U8(p.Data)
-	w.U16(p.Seq)
-	w.U32(uint32(Pad4(len(p.Extra)) / 4))
-	w.U32(p.Time)
-	w.U32(p.Aux)
+	off := len(w.Buf)
+	w.Skip(ReplyHeaderBytes)
+	PutReplyHeader(w.Order, w.Buf[off:], p, len(p.Extra))
 	w.Bytes(p.Extra)
 	w.Pad()
+}
+
+// PutReplyHeader writes a reply's fixed 16-byte header into hdr for a
+// payload of extraLen bytes that the caller marshals (and pads to a
+// 32-bit boundary) itself. It is the scatter-gather half of Encode: the
+// server's record path converts samples straight into the wire message
+// after the header, so the payload never exists anywhere else.
+func PutReplyHeader(order binary.ByteOrder, hdr []byte, p *Reply, extraLen int) {
+	hdr[0] = MsgReply
+	hdr[1] = p.Data
+	order.PutUint16(hdr[2:4], p.Seq)
+	order.PutUint32(hdr[4:8], uint32(Pad4(extraLen)/4))
+	order.PutUint32(hdr[8:12], p.Time)
+	order.PutUint32(hdr[12:16], p.Aux)
 }
 
 // ErrorMsg is a protocol error message.
@@ -100,10 +112,11 @@ type Message struct {
 	// Inline storage used by ReadMessageInto so a reused Message reads
 	// the steady-state reply stream without allocating. The exported
 	// pointers above refer into it (valid until the next ReadMessageInto).
-	reply Reply
-	errm  ErrorMsg
-	event Event
-	extra []byte // reusable Extra backing store
+	reply   Reply
+	errm    ErrorMsg
+	event   Event
+	extra   []byte               // reusable Extra backing store
+	scratch [EventBytes - 1]byte // header read buffer (kept here so it never escapes)
 }
 
 // ReadMessage reads the next server-to-client message from the stream.
@@ -115,21 +128,43 @@ func ReadMessage(rd io.Reader, order binary.ByteOrder) (*Message, error) {
 	return m, nil
 }
 
+// MaxReplyExtraBytes bounds the declared extra length of a reply the
+// client library will accept: comfortably larger than any legitimate
+// reply (a record payload tops out at MaxRequestBytes), small enough
+// that a corrupt or hostile length field cannot force an absurd
+// allocation.
+const MaxReplyExtraBytes = 1 << 24
+
 // ReadMessageInto reads the next server-to-client message into m, reusing
 // m's inline storage — including the Extra capacity left by a previous
 // reply — so a caller that keeps one Message per connection reads the
 // reply stream allocation-free. The message's Reply/Error/Event (and any
 // Extra bytes) are only valid until the next call with the same m.
 func ReadMessageInto(rd io.Reader, order binary.ByteOrder, m *Message) error {
+	return readMessage(rd, order, m, 0, nil)
+}
+
+// ReadMessageDirect is ReadMessageInto with a zero-copy reply path: when
+// the next message is a reply whose sequence number is wantSeq, its extra
+// payload is read with io.ReadFull straight into extraDst (the returned
+// Reply.Extra aliases extraDst) instead of m's scratch storage. Payload
+// beyond len(extraDst) — normally just the 32-bit-boundary pad — is read
+// and discarded. Messages with other sequence numbers, errors, and events
+// take the ordinary path and leave extraDst untouched.
+func ReadMessageDirect(rd io.Reader, order binary.ByteOrder, m *Message, wantSeq uint16, extraDst []byte) error {
+	return readMessage(rd, order, m, wantSeq, extraDst)
+}
+
+func readMessage(rd io.Reader, order binary.ByteOrder, m *Message, wantSeq uint16, extraDst []byte) error {
 	m.Reply, m.Error, m.Event = nil, nil, nil
-	var first [1]byte
-	if _, err := io.ReadFull(rd, first[:]); err != nil {
+	if _, err := io.ReadFull(rd, m.scratch[:1]); err != nil {
 		return err
 	}
-	switch first[0] {
+	first := m.scratch[0]
+	switch first {
 	case MsgReply:
-		var hdr [ReplyHeaderBytes - 1]byte
-		if _, err := io.ReadFull(rd, hdr[:]); err != nil {
+		hdr := m.scratch[1:ReplyHeaderBytes]
+		if _, err := io.ReadFull(rd, hdr); err != nil {
 			return err
 		}
 		m.reply = Reply{
@@ -139,20 +174,42 @@ func ReadMessageInto(rd io.Reader, order binary.ByteOrder, m *Message) error {
 			Aux:  order.Uint32(hdr[11:]),
 		}
 		extraLen := int(order.Uint32(hdr[3:])) * 4
+		if extraLen > MaxReplyExtraBytes {
+			return fmt.Errorf("proto: reply extra length %d exceeds maximum %d", extraLen, MaxReplyExtraBytes)
+		}
 		if extraLen > 0 {
-			if cap(m.extra) < extraLen {
-				m.extra = make([]byte, extraLen)
-			}
-			m.reply.Extra = m.extra[:extraLen]
-			if _, err := io.ReadFull(rd, m.reply.Extra); err != nil {
-				return err
+			if extraDst != nil && m.reply.Seq == wantSeq {
+				n := extraLen
+				if n > len(extraDst) {
+					n = len(extraDst)
+				}
+				if _, err := io.ReadFull(rd, extraDst[:n]); err != nil {
+					return err
+				}
+				m.reply.Extra = extraDst[:n]
+				if extraLen > n {
+					if _, err := io.CopyN(io.Discard, rd, int64(extraLen-n)); err != nil {
+						if err == io.EOF {
+							err = io.ErrUnexpectedEOF
+						}
+						return err
+					}
+				}
+			} else {
+				if cap(m.extra) < extraLen {
+					m.extra = make([]byte, extraLen)
+				}
+				m.reply.Extra = m.extra[:extraLen]
+				if _, err := io.ReadFull(rd, m.reply.Extra); err != nil {
+					return err
+				}
 			}
 		}
 		m.Reply = &m.reply
 		return nil
 	case MsgError:
-		var rest [EventBytes - 1]byte
-		if _, err := io.ReadFull(rd, rest[:]); err != nil {
+		rest := m.scratch[:EventBytes-1]
+		if _, err := io.ReadFull(rd, rest); err != nil {
 			return err
 		}
 		m.errm = ErrorMsg{
@@ -164,12 +221,12 @@ func ReadMessageInto(rd io.Reader, order binary.ByteOrder, m *Message) error {
 		m.Error = &m.errm
 		return nil
 	default:
-		var rest [EventBytes - 1]byte
-		if _, err := io.ReadFull(rd, rest[:]); err != nil {
+		rest := m.scratch[:EventBytes-1]
+		if _, err := io.ReadFull(rd, rest); err != nil {
 			return err
 		}
 		m.event = Event{
-			Code:     first[0],
+			Code:     first,
 			Detail:   rest[0],
 			Seq:      order.Uint16(rest[1:]),
 			Device:   order.Uint32(rest[3:]),

@@ -1,5 +1,7 @@
 package proto
 
+import "fmt"
+
 // Request bodies. The client library appends requests to a Writer with
 // the Append* helpers; the server parses bodies with the Decode* helpers,
 // whose Reader is positioned just after the 4-byte request header. The
@@ -140,6 +142,30 @@ func AppendPlaySamples(w *Writer, q PlaySamplesReq) error {
 	w.U32(uint32(len(q.Data)))
 	w.Bytes(q.Data)
 	return w.EndRequest(off)
+}
+
+// PlayHeaderBytes is the wire size of a PlaySamples request up to its
+// sample payload: the 4-byte request header plus AC, Time, and NBytes.
+const PlayHeaderBytes = 16
+
+// AppendPlaySamplesHeader appends only the header of a PlaySamples
+// request carrying n payload bytes (q.Data is ignored). It is the
+// scatter-gather half of AppendPlaySamples: the caller ships the header,
+// its n sample bytes, and Pad4(n)-n zero bytes as separate slices of one
+// vectored write, so the payload is never copied through the request
+// buffer. Nothing is appended on error.
+func AppendPlaySamplesHeader(w *Writer, q PlaySamplesReq, n int) error {
+	total := PlayHeaderBytes + Pad4(n)
+	if n < 0 || total > MaxRequestBytes {
+		return fmt.Errorf("proto: request length %d exceeds maximum %d", total, MaxRequestBytes)
+	}
+	w.U8(OpPlaySamples)
+	w.U8(q.Flags)
+	w.U16(uint16(total / 4))
+	w.U32(q.AC)
+	w.U32(q.Time)
+	w.U32(uint32(n))
+	return nil
 }
 
 // DecodePlaySamples parses a PlaySamples body. Data aliases the request

@@ -1,0 +1,68 @@
+package audiofile
+
+import (
+	"testing"
+
+	"audiofile/af"
+)
+
+// BenchmarkWireThroughput measures the bulk sample transport end to end
+// over real sockets: the full PlaySamples egress path (client request
+// marshal, socket, server ingress, play buffer) and the full
+// RecordSamples ingress path (record ring, reply marshal, socket, client
+// buffer) at a 24 KiB payload — three protocol chunks per call. This is
+// the benchmark the scatter-gather wire path is judged by: every copy
+// between the device ring buffer and the socket shows up directly in
+// MB/s here.
+func BenchmarkWireThroughput(b *testing.B) {
+	const size = 24 << 10
+	for _, cfg := range benchConfigs {
+		b.Run(cfg.Name, func(b *testing.B) {
+			b.Run("play", func(b *testing.B) {
+				r := newRig(b, cfg)
+				if err := r.AC.ChangeAttributes(af.ACPreemption,
+					af.ACAttributes{Preempt: true}); err != nil {
+					b.Fatal(err)
+				}
+				now, err := r.AC.GetTime()
+				if err != nil {
+					b.Fatal(err)
+				}
+				start := now.Add(4000)
+				data := make([]byte, size)
+				for i := range data {
+					data[i] = byte(0x80 + i%64)
+				}
+				b.SetBytes(size)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := r.AC.PlaySamples(start, data); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run("record", func(b *testing.B) {
+				r := newRig(b, cfg)
+				if err := r.PrimeRecord(); err != nil {
+					b.Fatal(err)
+				}
+				now, err := r.AC.GetTime()
+				if err != nil {
+					b.Fatal(err)
+				}
+				buf := make([]byte, size)
+				start := now.Add(-size)
+				b.SetBytes(size)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_, n, err := r.AC.RecordSamples(start, buf, true)
+					if err != nil || n != size {
+						b.Fatalf("n=%d err=%v", n, err)
+					}
+				}
+			})
+		})
+	}
+}
