@@ -85,15 +85,28 @@ func (c *Conn) pollMessage() (*proto.Message, bool, error) {
 	if c.ioErr != nil {
 		return nil, false, c.ioErr
 	}
-	c.conn.SetReadDeadline(time.Now().Add(time.Millisecond)) //nolint:errcheck
+	if err := c.conn.SetReadDeadline(time.Now().Add(time.Millisecond)); err != nil {
+		// A transport that cannot arm a deadline would turn the probe
+		// below into a blocking read; fail the poll instead.
+		return nil, false, c.ioError(err)
+	}
 	_, err := c.br.ReadByte()
-	c.conn.SetReadDeadline(time.Time{}) //nolint:errcheck
+	// Clear the deadline before anything else: a connection left with the
+	// stale 1ms deadline would spuriously time out every later blocking
+	// read. A failure here poisons the connection the same way.
+	clearErr := c.conn.SetReadDeadline(time.Time{})
 	if err != nil {
 		var ne net.Error
 		if errors.As(err, &ne) && ne.Timeout() {
+			if clearErr != nil {
+				return nil, false, c.ioError(clearErr)
+			}
 			return nil, false, nil
 		}
 		return nil, false, c.ioError(err)
+	}
+	if clearErr != nil {
+		return nil, false, c.ioError(clearErr)
 	}
 	// Put the probe byte back and parse from the buffered reader itself:
 	// UnreadByte is always valid immediately after ReadByte, and it avoids

@@ -296,6 +296,7 @@ func (c *client) writer() {
 		if len(vec) == 0 {
 			return nil
 		}
+		c.s.sm.writevBatch.Observe(int64(len(vec)))
 		bufs = vec
 		_, err := bufs.WriteTo(c.conn)
 		bufs = nil
@@ -357,9 +358,11 @@ func (c *client) send(msg *[]byte) bool {
 	}
 	select {
 	case c.outCh <- msg:
+		c.s.sm.sendQueueDepth.Observe(int64(len(c.outCh)))
 		return true
 	default:
 		putMsg(msg)
+		c.s.sm.queueOverflows.Inc()
 		c.s.logf("aserver: client %v output queue overflow, dropping connection", c.conn.RemoteAddr())
 		// Mark the client dead and sever the transport; the reader exits
 		// on the closed conn and the loop reclaims state via unregister.
@@ -396,6 +399,11 @@ func finishRecordReply(c *client, a *ac, m *[]byte, n int, now uint32, flags uin
 	}
 	*m = buf[:total]
 	proto.PutReplyHeader(c.order, buf, &proto.Reply{Seq: seq, Time: now, Aux: uint32(n)}, n)
+	// Record egress is counted here, the seal point every record reply
+	// passes through (first-try, retried, and compressed paths alike).
+	em := c.s.engineByDev[a.devIndex].m
+	em.recBytes.Add(uint64(n))
+	em.recChunk.Observe(int64(n))
 	c.send(m)
 }
 
@@ -412,6 +420,7 @@ func (c *client) sendReply(p *proto.Reply, seq uint16) {
 // sendError marshals and queues a protocol error for the request
 // carrying seq.
 func (c *client) sendError(code uint8, badValue uint32, op uint8, seq uint16) {
+	c.s.sm.clientErrors.Inc()
 	e := proto.ErrorMsg{Code: code, Seq: seq, BadValue: badValue, MajorOp: op}
 	m := getMsg()
 	w := proto.Writer{Order: c.order, Buf: *m}

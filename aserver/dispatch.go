@@ -26,8 +26,17 @@ func (s *Server) dispatch(req *request) {
 // inline on the caller's goroutine under the owning engine's lock. It
 // returns the park when the request blocked; the caller must not
 // dispatch another request for this connection until the park's done
-// channel closes.
+// channel closes. The wrapper owns the per-type dispatch latency
+// histogram; a parked request's latency is its time to park, not its
+// time to completion (the park-duration histogram covers that).
 func (s *Server) dispatchHot(req *request) *parked {
+	t0 := time.Now()
+	p := s.dispatchHotInner(req)
+	s.sm.dispatchFor(req.op).Observe(time.Since(t0).Nanoseconds())
+	return p
+}
+
+func (s *Server) dispatchHotInner(req *request) *parked {
 	c := req.c
 	seq := uint16(c.seq.Add(1))
 	s.requestCount.Add(1)
@@ -40,9 +49,9 @@ func (s *Server) dispatchHot(req *request) *parked {
 			return nil
 		}
 		e := s.engineByDev[dev]
-		e.mu.Lock()
+		acq := e.m.lockTimed(&e.mu)
 		t := uint32(s.devices[dev].Time())
-		e.mu.Unlock()
+		e.m.unlockTimed(&e.mu, acq)
 		c.sendReply(&proto.Reply{Time: t}, seq)
 
 	case proto.OpPlaySamples:
@@ -57,12 +66,17 @@ func (s *Server) dispatchHot(req *request) *parked {
 			return nil
 		}
 		e := s.engineByDev[a.devIndex]
-		e.mu.Lock()
+		// Play ingress is counted here, the single entry point every
+		// accepted PlaySamples request passes through (parked retries
+		// re-consume the same bytes and are not re-counted).
+		e.m.playBytes.Add(uint64(len(q.Data)))
+		e.m.playChunk.Observe(int64(len(q.Data)))
+		acq := e.m.lockTimed(&e.mu)
 		p := handlePlay(c, a, req, q, seq)
 		if p != nil {
-			e.parks[c] = p
+			e.registerParkLocked(c, p)
 		}
-		e.mu.Unlock()
+		e.m.unlockTimed(&e.mu, acq)
 		return p
 
 	case proto.OpRecordSamples:
@@ -77,12 +91,12 @@ func (s *Server) dispatchHot(req *request) *parked {
 			return nil
 		}
 		e := s.engineByDev[a.devIndex]
-		e.mu.Lock()
+		acq := e.m.lockTimed(&e.mu)
 		p := handleRecord(c, a, e, req, q, seq)
 		if p != nil {
-			e.parks[c] = p
+			e.registerParkLocked(c, p)
 		}
-		e.mu.Unlock()
+		e.m.unlockTimed(&e.mu, acq)
 		return p
 	}
 	return nil
@@ -91,6 +105,12 @@ func (s *Server) dispatchHot(req *request) *parked {
 // dispatchControl indexes the request type into the handler table, as
 // the DIA dispatcher does. It runs in the server loop.
 func (s *Server) dispatchControl(req *request) {
+	t0 := time.Now()
+	s.dispatchControlInner(req)
+	s.sm.dispatchControl.Observe(time.Since(t0).Nanoseconds())
+}
+
+func (s *Server) dispatchControlInner(req *request) {
 	c := req.c
 	seq := uint16(c.seq.Add(1))
 	s.requestCount.Add(1)

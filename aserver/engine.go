@@ -34,6 +34,7 @@ type engine struct {
 	idx  int // position in Server.engines, ascending root device index
 	root *core.Device
 	line *phonesim.Line
+	m    *engineMetrics // this engine's slice of the server registry
 
 	interval time.Duration // periodic update cadence
 
@@ -61,6 +62,7 @@ type parked struct {
 	body  []byte        // aliases frame when pooled (records re-decode per retry)
 	frame *[]byte       // pooled request frame; returned when the park finishes
 	done  chan struct{} // closed exactly once, when the park completes or is discarded
+	since time.Time     // registration time, for the park-duration histogram
 
 	// play state: remaining data in playEnc (compressed contexts park
 	// already-decompressed data)
@@ -85,6 +87,7 @@ func newEngine(s *Server, idx int, root *core.Device, line *phonesim.Line) *engi
 		idx:      idx,
 		root:     root,
 		line:     line,
+		m:        s.sm.newEngineMetrics(root.Index),
 		interval: interval,
 		tasks:    newTaskQueue(),
 		parks:    make(map[*client]*parked),
@@ -113,7 +116,7 @@ func (e *engine) run() {
 	}
 	defer timer.Stop()
 	for {
-		e.mu.Lock()
+		acq := e.m.lockTimed(&e.mu)
 		e.tasks.runDue(time.Now())
 		d := time.Hour
 		if when, ok := e.tasks.next(); ok {
@@ -122,7 +125,7 @@ func (e *engine) run() {
 				d = 0
 			}
 		}
-		e.mu.Unlock()
+		e.m.unlockTimed(&e.mu, acq)
 		timer.Reset(d)
 		select {
 		case <-timer.C:
@@ -133,7 +136,7 @@ func (e *engine) run() {
 		case <-e.s.done:
 			e.mu.Lock()
 			for c, p := range e.parks {
-				e.finishPark(c, p)
+				e.finishPark(c, p, false)
 			}
 			e.mu.Unlock()
 			return
@@ -242,11 +245,31 @@ func (e *engine) resumeParked() {
 	}
 }
 
+// registerParkLocked records a blocked request on this engine and starts
+// its lifecycle accounting: every park registered here is later released
+// by finishPark exactly once, so parks started == completed + discarded
+// whenever no parks are outstanding. Caller holds e.mu.
+func (e *engine) registerParkLocked(c *client, p *parked) {
+	p.since = time.Now()
+	e.parks[c] = p
+	e.m.parksStarted.Inc()
+	e.m.parkedNow.Add(1)
+}
+
 // finishPark removes a park and releases everything it pinned: the
 // pooled request frame, any pooled staging buffer, and the reader
-// goroutine waiting on done. Caller holds e.mu.
-func (e *engine) finishPark(c *client, p *parked) {
+// goroutine waiting on done. completed distinguishes a request that ran
+// to completion from one discarded (dead client, shutdown). Caller holds
+// e.mu.
+func (e *engine) finishPark(c *client, p *parked, completed bool) {
 	delete(e.parks, c)
+	if completed {
+		e.m.parksCompleted.Inc()
+	} else {
+		e.m.parksDiscarded.Inc()
+	}
+	e.m.parkedNow.Add(-1)
+	e.m.parkNs.Observe(time.Since(p.since).Nanoseconds())
 	if p.playPooled != nil {
 		putBytes(p.playPooled)
 		p.playPooled = nil
@@ -262,7 +285,7 @@ func (e *engine) finishPark(c *client, p *parked) {
 // Caller holds e.mu.
 func (e *engine) retryParked(c *client, p *parked) {
 	if c.dead.Load() {
-		e.finishPark(c, p)
+		e.finishPark(c, p, false)
 		return
 	}
 	a := p.a
@@ -278,7 +301,7 @@ func (e *engine) retryParked(c *client, p *parked) {
 		if p.ext&proto.SampleFlagSuppressReply == 0 {
 			c.sendReply(&proto.Reply{Time: uint32(res.Now)}, p.seq)
 		}
-		e.finishPark(c, p)
+		e.finishPark(c, p, true)
 	case proto.OpRecordSamples:
 		r := proto.NewReader(c.order, p.body)
 		q := proto.DecodeRecordSamples(r, p.ext)
@@ -297,7 +320,7 @@ func (e *engine) retryParked(c *client, p *parked) {
 			a.recCoder.Encode(payload, *samplesp)
 			putLin(samplesp)
 			finishRecordReply(c, a, m, frames/2, uint32(res.Now), 0, p.seq)
-			e.finishPark(c, p)
+			e.finishPark(c, p, true)
 			return
 		}
 		cfb := a.clientFrameBytes()
@@ -318,9 +341,9 @@ func (e *engine) retryParked(c *client, p *parked) {
 			return
 		}
 		finishRecordReply(c, a, m, want*cfb, uint32(res.Now), q.Flags, p.seq)
-		e.finishPark(c, p)
+		e.finishPark(c, p, true)
 	default:
-		e.finishPark(c, p)
+		e.finishPark(c, p, false)
 	}
 }
 
@@ -330,7 +353,7 @@ func (e *engine) retryParked(c *client, p *parked) {
 func (e *engine) dropClientParks(c *client) {
 	e.mu.Lock()
 	if p, ok := e.parks[c]; ok {
-		e.finishPark(c, p)
+		e.finishPark(c, p, false)
 	}
 	e.mu.Unlock()
 }

@@ -42,6 +42,8 @@ func (s *Server) loop() {
 			s.clientMu.Lock()
 			s.clients[c] = struct{}{}
 			s.clientMu.Unlock()
+			s.sm.connects.Inc()
+			s.sm.activeClients.Add(1)
 		case c := <-s.unregCh:
 			s.removeClient(c)
 		case req := <-s.reqCh:
@@ -86,6 +88,8 @@ func (s *Server) removeClient(c *client) {
 	}
 	c.removed = true
 	c.dead.Store(true)
+	s.sm.disconnects.Inc()
+	s.sm.activeClients.Add(-1)
 	s.clientMu.Lock()
 	delete(s.clients, c)
 	s.clientMu.Unlock()

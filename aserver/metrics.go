@@ -1,0 +1,271 @@
+package aserver
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"audiofile/internal/metrics"
+	"audiofile/internal/proto"
+)
+
+// This file is the observability spine of the server: the typed metric
+// sets the hot paths update, and the consistent snapshot the export
+// endpoints read.
+//
+// Ownership rules (one owner per counter, so totals are trustworthy):
+//
+//   - Request totals and dispatch latency: the dispatch wrappers in
+//     dispatch.go, on the dispatching goroutine.
+//   - Engine lock wait/hold: the lockers themselves (hot dispatch and
+//     the engine goroutine's task pass).
+//   - Play ingress bytes/chunks: the PlaySamples branch of dispatchHot.
+//   - Record egress bytes/chunks: finishRecordReply, the single seal
+//     point every record reply passes through (first-try and retry).
+//   - Park lifecycle: registration in dispatchHot, release in
+//     engine.finishPark. parks started == completed + discarded.
+//   - Connects/disconnects: the control plane (loop.go register /
+//     removeClient), each exactly once per client, so after every
+//     client is gone connects == disconnects.
+//   - Queue overflows, client errors, queue depth, writev batches:
+//     client.go's send/sendError/writer.
+//   - Frame conservation counters and silence fill: internal/core and
+//     internal/ring, mutated and snapshotted under the engine lock.
+//
+// Everything the hot paths touch is an atomic on a pre-registered
+// struct — no maps, no allocation (the CI gate on BenchmarkDispatch*
+// and BenchmarkMetrics* enforces this).
+
+// serverMetrics is the server-wide metric set.
+type serverMetrics struct {
+	reg *metrics.Registry
+
+	connects       *metrics.Counter
+	disconnects    *metrics.Counter
+	activeClients  *metrics.Gauge
+	clientErrors   *metrics.Counter
+	queueOverflows *metrics.Counter
+
+	dispatchPlay    *metrics.Histogram // ns, one observation per request
+	dispatchRecord  *metrics.Histogram
+	dispatchGetTime *metrics.Histogram
+	dispatchControl *metrics.Histogram
+
+	writevBatch    *metrics.Histogram // messages per vectored write
+	sendQueueDepth *metrics.Histogram // outbound queue depth at enqueue
+}
+
+func newServerMetrics() *serverMetrics {
+	reg := metrics.NewRegistry()
+	return &serverMetrics{
+		reg:             reg,
+		connects:        reg.Counter("server.connects"),
+		disconnects:     reg.Counter("server.disconnects"),
+		activeClients:   reg.Gauge("server.active_clients"),
+		clientErrors:    reg.Counter("server.client_errors"),
+		queueOverflows:  reg.Counter("server.queue_overflows"),
+		dispatchPlay:    reg.Histogram("dispatch.play_ns"),
+		dispatchRecord:  reg.Histogram("dispatch.record_ns"),
+		dispatchGetTime: reg.Histogram("dispatch.gettime_ns"),
+		dispatchControl: reg.Histogram("dispatch.control_ns"),
+		writevBatch:     reg.Histogram("wire.writev_batch"),
+		sendQueueDepth:  reg.Histogram("wire.send_queue_depth"),
+	}
+}
+
+// dispatchFor returns the latency histogram for a request opcode.
+func (sm *serverMetrics) dispatchFor(op uint8) *metrics.Histogram {
+	switch op {
+	case proto.OpPlaySamples:
+		return sm.dispatchPlay
+	case proto.OpRecordSamples:
+		return sm.dispatchRecord
+	case proto.OpGetTime:
+		return sm.dispatchGetTime
+	default:
+		return sm.dispatchControl
+	}
+}
+
+// engineMetrics is the per-root-device metric set, owned by the engine.
+// Atomic so engine goroutines, reader goroutines, and the seal points in
+// client.go can all update without extending the engine lock's hold.
+type engineMetrics struct {
+	lockWait *metrics.Histogram // ns waiting to acquire e.mu (hot dispatch + engine task pass)
+	lockHold *metrics.Histogram // ns holding e.mu
+
+	playBytes *metrics.Counter   // sample payload bytes accepted off the wire
+	recBytes  *metrics.Counter   // sample payload bytes sealed into record replies
+	playChunk *metrics.Histogram // bytes per PlaySamples request
+	recChunk  *metrics.Histogram // bytes per record reply
+
+	parksStarted   *metrics.Counter
+	parksCompleted *metrics.Counter
+	parksDiscarded *metrics.Counter
+	parkedNow      *metrics.Gauge
+	parkNs         *metrics.Histogram // park registration to release
+}
+
+func (sm *serverMetrics) newEngineMetrics(rootIndex int) *engineMetrics {
+	p := fmt.Sprintf("dev.%d.", rootIndex)
+	reg := sm.reg
+	return &engineMetrics{
+		lockWait:       reg.Histogram(p + "lock_wait_ns"),
+		lockHold:       reg.Histogram(p + "lock_hold_ns"),
+		playBytes:      reg.Counter(p + "play_bytes"),
+		recBytes:       reg.Counter(p + "rec_bytes"),
+		playChunk:      reg.Histogram(p + "play_chunk_bytes"),
+		recChunk:       reg.Histogram(p + "rec_chunk_bytes"),
+		parksStarted:   reg.Counter(p + "parks_started"),
+		parksCompleted: reg.Counter(p + "parks_completed"),
+		parksDiscarded: reg.Counter(p + "parks_discarded"),
+		parkedNow:      reg.Gauge(p + "parked_now"),
+		parkNs:         reg.Histogram(p + "park_ns"),
+	}
+}
+
+// Snapshot is the consistent, JSON-renderable state of the server's
+// metrics: what `afd -stats` serves and `astat` renders. Atomics are
+// read individually (never torn); the per-device frame counters are
+// read under each engine's lock, so within one device the conservation
+// laws hold exactly in every snapshot.
+type Snapshot struct {
+	Requests       uint64 `json:"requests"`
+	Connects       uint64 `json:"connects"`
+	Disconnects    uint64 `json:"disconnects"`
+	ActiveClients  int64  `json:"active_clients"`
+	ClientErrors   uint64 `json:"client_errors"`
+	QueueOverflows uint64 `json:"queue_overflows"`
+
+	DispatchPlayNs    metrics.HistogramSnapshot `json:"dispatch_play_ns"`
+	DispatchRecordNs  metrics.HistogramSnapshot `json:"dispatch_record_ns"`
+	DispatchGetTimeNs metrics.HistogramSnapshot `json:"dispatch_gettime_ns"`
+	DispatchControlNs metrics.HistogramSnapshot `json:"dispatch_control_ns"`
+
+	WritevBatch    metrics.HistogramSnapshot `json:"writev_batch"`
+	SendQueueDepth metrics.HistogramSnapshot `json:"send_queue_depth"`
+
+	Devices []DeviceStats `json:"devices"`
+}
+
+// DeviceStats is one root device's counters (views account into their
+// root). Frame counters obey, in every snapshot:
+//
+//	FramesAccepted == FramesBuffered + FramesDiscarded
+//	FramesPreempted <= FramesBuffered
+type DeviceStats struct {
+	Index int    `json:"index"`
+	Name  string `json:"name"`
+	Rate  int    `json:"rate"`
+	Now   uint32 `json:"now"` // device time as of the last refresh
+
+	FramesAccepted  uint64 `json:"frames_accepted"`
+	FramesBuffered  uint64 `json:"frames_buffered"`
+	FramesDiscarded uint64 `json:"frames_discarded"`
+	FramesPreempted uint64 `json:"frames_preempted"`
+	FramesRecorded  uint64 `json:"frames_recorded"`
+
+	PlaySilenceFilled uint64 `json:"play_silence_filled"`
+	RecSilenceFilled  uint64 `json:"rec_silence_filled"`
+	Underruns         uint64 `json:"underruns"`
+
+	PlayBytes      uint64                    `json:"play_bytes"`
+	RecBytes       uint64                    `json:"rec_bytes"`
+	PlayChunkBytes metrics.HistogramSnapshot `json:"play_chunk_bytes"`
+	RecChunkBytes  metrics.HistogramSnapshot `json:"rec_chunk_bytes"`
+
+	ParksStarted   uint64                    `json:"parks_started"`
+	ParksCompleted uint64                    `json:"parks_completed"`
+	ParksDiscarded uint64                    `json:"parks_discarded"`
+	ParkedNow      int64                     `json:"parked_now"`
+	ParkNs         metrics.HistogramSnapshot `json:"park_ns"`
+
+	LockWaitNs metrics.HistogramSnapshot `json:"lock_wait_ns"`
+	LockHoldNs metrics.HistogramSnapshot `json:"lock_hold_ns"`
+
+	// Simulated-hardware truth (absent for lineserver backends): frames
+	// the DAC consumed from host data, backfilled silence frames, and
+	// ADC frames captured.
+	HWPlayed   uint64 `json:"hw_played"`
+	HWSilent   uint64 `json:"hw_silent"`
+	HWRecorded uint64 `json:"hw_recorded"`
+}
+
+// Snapshot assembles a consistent metrics snapshot. Engine locks are
+// taken one at a time (never nested), so this is safe to call from any
+// goroutine, including while the data plane is under load.
+func (s *Server) Snapshot() Snapshot {
+	sm := s.sm
+	snap := Snapshot{
+		Requests:          s.requestCount.Load(),
+		Connects:          sm.connects.Load(),
+		Disconnects:       sm.disconnects.Load(),
+		ActiveClients:     sm.activeClients.Load(),
+		ClientErrors:      sm.clientErrors.Load(),
+		QueueOverflows:    sm.queueOverflows.Load(),
+		DispatchPlayNs:    sm.dispatchPlay.Snapshot(),
+		DispatchRecordNs:  sm.dispatchRecord.Snapshot(),
+		DispatchGetTimeNs: sm.dispatchGetTime.Snapshot(),
+		DispatchControlNs: sm.dispatchControl.Snapshot(),
+		WritevBatch:       sm.writevBatch.Snapshot(),
+		SendQueueDepth:    sm.sendQueueDepth.Snapshot(),
+	}
+	for _, e := range s.engines {
+		d := e.root
+		em := e.m
+		ds := DeviceStats{
+			Index:          d.Index,
+			Name:           d.Cfg.Name,
+			Rate:           d.Cfg.Rate,
+			PlayBytes:      em.playBytes.Load(),
+			RecBytes:       em.recBytes.Load(),
+			PlayChunkBytes: em.playChunk.Snapshot(),
+			RecChunkBytes:  em.recChunk.Snapshot(),
+			ParksStarted:   em.parksStarted.Load(),
+			ParksCompleted: em.parksCompleted.Load(),
+			ParksDiscarded: em.parksDiscarded.Load(),
+			ParkedNow:      em.parkedNow.Load(),
+			ParkNs:         em.parkNs.Snapshot(),
+			LockWaitNs:     em.lockWait.Snapshot(),
+			LockHoldNs:     em.lockHold.Snapshot(),
+		}
+		e.mu.Lock()
+		io := d.Stats()
+		ds.Now = uint32(d.Now())
+		ds.FramesAccepted = io.FramesAccepted
+		ds.FramesBuffered = io.FramesBuffered
+		ds.FramesDiscarded = io.FramesDiscarded
+		ds.FramesPreempted = io.FramesPreempted
+		ds.FramesRecorded = io.FramesRecorded
+		ds.PlaySilenceFilled = d.PlaySilenceFilled()
+		ds.RecSilenceFilled = d.RecSilenceFilled()
+		ds.Underruns = d.Underruns
+		if hw := s.hw[d]; hw != nil {
+			ds.HWPlayed, ds.HWSilent, ds.HWRecorded = hw.Stats()
+		}
+		e.mu.Unlock()
+		snap.Devices = append(snap.Devices, ds)
+	}
+	return snap
+}
+
+// MetricsRegistry exposes the server's metric registry (for the expvar
+// endpoint and for embedding harnesses).
+func (s *Server) MetricsRegistry() *metrics.Registry { return s.sm.reg }
+
+// lockTimed/unlockTimed wrap an engine-lock acquire/release with the
+// wait and hold histograms; every timed locker uses them so all call
+// sites measure the same way. They take the mutex directly (no func
+// values) to keep the hot path allocation-free.
+func (em *engineMetrics) lockTimed(mu *sync.Mutex) time.Time {
+	t0 := time.Now()
+	mu.Lock()
+	t1 := time.Now()
+	em.lockWait.Observe(t1.Sub(t0).Nanoseconds())
+	return t1
+}
+
+func (em *engineMetrics) unlockTimed(mu *sync.Mutex, acquired time.Time) {
+	em.lockHold.Observe(time.Since(acquired).Nanoseconds())
+	mu.Unlock()
+}

@@ -146,6 +146,11 @@ type Server struct {
 
 	// Stats observed by afperf.
 	requestCount atomic.Uint64
+
+	// sm is the observability layer: the metric registry plus the typed
+	// server-wide counter set. Created before the engines (each engine
+	// registers its own set against it); immutable after New.
+	sm *serverMetrics
 }
 
 // New builds the devices and starts the server loop.
@@ -175,6 +180,7 @@ func New(opts Options) (*Server, error) {
 		done:          make(chan struct{}),
 		stopped:       make(chan struct{}),
 		tasks:         newTaskQueue(),
+		sm:            newServerMetrics(),
 	}
 	// The access list starts with the server's own host, as xhost does, so
 	// enabling access control does not lock out local TCP clients.

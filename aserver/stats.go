@@ -1,0 +1,45 @@
+package aserver
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+)
+
+// StatsHandler returns an http.Handler exposing the server's metrics:
+//
+//	/stats       the structured Snapshot as JSON (what astat consumes)
+//	/debug/vars  the flat expvar-compatible view of the registry
+//
+// The handler only reads — a scrape takes each engine lock briefly to
+// copy the device counters, so polling it during playback is safe.
+func (s *Server) StatsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.Snapshot()) //nolint:errcheck — client went away mid-scrape
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		s.sm.reg.WriteExpvar(w)
+	})
+	return mux
+}
+
+// ListenStats serves the stats endpoints on addr in the background (the
+// afd -stats flag). The returned listener carries the bound address;
+// closing it stops the endpoint. The HTTP server dies with the listener,
+// so Server.Close does not need to know about it.
+func (s *Server) ListenStats(addr string) (net.Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		srv := &http.Server{Handler: s.StatsHandler()}
+		srv.Serve(l) //nolint:errcheck — ends when the listener closes
+	}()
+	return l, nil
+}

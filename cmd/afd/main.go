@@ -40,6 +40,7 @@ func main() {
 	console := flag.Bool("console", false, "read exchange-control commands from stdin")
 	nodelay := flag.Bool("nodelay", true, "set TCP_NODELAY on accepted TCP connections (disable to let Nagle coalesce)")
 	verbose := flag.Bool("verbose", false, "log server diagnostics")
+	statsAddr := flag.String("stats", "", "serve metrics (/stats JSON, /debug/vars expvar) on this address (e.g. localhost:7800); off by default")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off by default")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file until shutdown")
 	flag.Parse()
@@ -87,6 +88,14 @@ func main() {
 		cmdutil.Die("afd: %v", err)
 	}
 	defer srv.Close()
+
+	if *statsAddr != "" {
+		sl, err := srv.ListenStats(*statsAddr)
+		if err != nil {
+			cmdutil.Die("afd: stats listener: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "afd: stats on http://%s/stats\n", sl.Addr())
+	}
 
 	sockDir := "/tmp/.AFunix"
 	if err := os.MkdirAll(sockDir, 0o777); err != nil {

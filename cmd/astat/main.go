@@ -1,0 +1,161 @@
+// astat polls an AudioFile server's stats endpoint (afd -stats) and
+// renders a live one-line-per-device summary, in the spirit of vmstat:
+//
+//	astat [-a host:port] [-i interval] [-n count] [-once]
+//
+// Each tick prints one line per device with the deltas since the last
+// scrape (bytes and frames per interval, underruns, parks) plus the
+// dispatch p99 for the hot ops. -once prints a single absolute snapshot
+// and exits, which is also the scriptable mode.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"audiofile/aserver"
+	"audiofile/internal/cmdutil"
+)
+
+var (
+	addr     = flag.String("a", "localhost:7800", "stats address of the server (afd -stats)")
+	interval = flag.Duration("i", time.Second, "polling interval")
+	count    = flag.Int("n", 0, "number of intervals to print (0 = until interrupted)")
+	once     = flag.Bool("once", false, "print one absolute snapshot and exit")
+)
+
+func main() {
+	flag.Parse()
+	url := "http://" + *addr + "/stats"
+
+	prev, err := scrape(url)
+	if err != nil {
+		cmdutil.Die("astat: %v", err)
+	}
+	if *once {
+		printAbsolute(prev)
+		return
+	}
+
+	header()
+	for tick := 0; *count == 0 || tick < *count; tick++ {
+		time.Sleep(*interval)
+		cur, err := scrape(url)
+		if err != nil {
+			cmdutil.Die("astat: %v", err)
+		}
+		if tick%20 == 0 && tick > 0 {
+			header()
+		}
+		printDelta(prev, cur, *interval)
+		prev = cur
+	}
+}
+
+// scrape fetches and decodes one snapshot.
+func scrape(url string) (aserver.Snapshot, error) {
+	var snap aserver.Snapshot
+	client := http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	return snap, err
+}
+
+func header() {
+	fmt.Printf("%-10s %9s %9s %9s %7s %6s %6s %6s %9s %9s\n",
+		"device", "play-B/s", "rec-B/s", "sil-f/s", "under", "parks", "queued", "errs", "play-p99", "lock-p99")
+}
+
+// printDelta renders one interval: per-device rates from the counter
+// deltas, with the server-wide columns folded into the first row.
+func printDelta(prev, cur aserver.Snapshot, dt time.Duration) {
+	secs := dt.Seconds()
+	if secs <= 0 {
+		secs = 1
+	}
+	prevDev := make(map[int]aserver.DeviceStats, len(prev.Devices))
+	for _, d := range prev.Devices {
+		prevDev[d.Index] = d
+	}
+	for i, d := range cur.Devices {
+		p := prevDev[d.Index]
+		errs := ""
+		if i == 0 {
+			errs = fmt.Sprintf("%d", cur.ClientErrors-prev.ClientErrors)
+		}
+		fmt.Printf("%-10s %9.0f %9.0f %9.0f %7d %6d %6d %6s %9s %9s\n",
+			d.Name,
+			float64(d.PlayBytes-p.PlayBytes)/secs,
+			float64(d.RecBytes-p.RecBytes)/secs,
+			float64(d.PlaySilenceFilled-p.PlaySilenceFilled)/secs,
+			d.Underruns-p.Underruns,
+			d.ParksStarted-p.ParksStarted,
+			d.ParkedNow,
+			errs,
+			ns(cur.DispatchPlayNs.Quantile(0.99)),
+			ns(d.LockWaitNs.Quantile(0.99)))
+	}
+}
+
+// printAbsolute renders one snapshot's cumulative counters.
+func printAbsolute(s aserver.Snapshot) {
+	fmt.Printf("requests %d  connects %d  disconnects %d  active %d  errors %d  overflows %d\n",
+		s.Requests, s.Connects, s.Disconnects, s.ActiveClients, s.ClientErrors, s.QueueOverflows)
+	fmt.Printf("dispatch p99: play %s  record %s  gettime %s  control %s  writev mean %.1f\n",
+		ns(s.DispatchPlayNs.Quantile(0.99)), ns(s.DispatchRecordNs.Quantile(0.99)),
+		ns(s.DispatchGetTimeNs.Quantile(0.99)), ns(s.DispatchControlNs.Quantile(0.99)),
+		s.WritevBatch.Mean())
+	fmt.Printf("%-10s %12s %12s %10s %10s %7s %6s %6s %9s\n",
+		"device", "play-bytes", "rec-bytes", "sil-fill", "preempt", "under", "parks", "queued", "lock-p99")
+	for _, d := range s.Devices {
+		fmt.Printf("%-10s %12d %12d %10d %10d %7d %6d %6d %9s\n",
+			d.Name, d.PlayBytes, d.RecBytes, d.PlaySilenceFilled, d.FramesPreempted,
+			d.Underruns, d.ParksStarted, d.ParkedNow, ns(d.LockWaitNs.Quantile(0.99)))
+	}
+	if werr := conservation(s); werr != "" {
+		fmt.Fprintf(os.Stderr, "astat: WARNING: %s\n", werr)
+	}
+}
+
+// conservation checks the snapshot's frame-accounting laws; a violation
+// means the server's instrumentation is broken, which is worth shouting
+// about in a stats tool.
+func conservation(s aserver.Snapshot) string {
+	for _, d := range s.Devices {
+		if d.FramesAccepted != d.FramesBuffered+d.FramesDiscarded {
+			return fmt.Sprintf("device %d: accepted %d != buffered %d + discarded %d",
+				d.Index, d.FramesAccepted, d.FramesBuffered, d.FramesDiscarded)
+		}
+		if d.FramesPreempted > d.FramesBuffered {
+			return fmt.Sprintf("device %d: preempted %d > buffered %d",
+				d.Index, d.FramesPreempted, d.FramesBuffered)
+		}
+	}
+	return ""
+}
+
+// ns renders a nanosecond bucket bound compactly.
+func ns(v uint64) string {
+	d := time.Duration(v)
+	switch {
+	case d == 0:
+		return "-"
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.0fµs", float64(d)/float64(time.Microsecond))
+	default:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	}
+}

@@ -70,6 +70,12 @@ type Device struct {
 	// update only runs when it is positive (§7.4.1 optimization).
 	RecRefCount int
 
+	// IO counts sample-frame flow through the buffering engine. Root
+	// devices own the counters (views account into their parent's);
+	// they are guarded by the device's engine lock, like all other
+	// device state, and the metrics snapshot reads them under it.
+	IO IOStats
+
 	// Master gain and I/O control state.
 	inputGainDB    int
 	outputGainDB   int
@@ -87,6 +93,21 @@ type Device struct {
 	// Underruns counts play frames that missed the hardware window
 	// because the update task ran too late.
 	Underruns uint64
+}
+
+// IOStats are the per-device conservation counters: every frame a
+// PlaySamples request delivers is either discarded (scheduled in the
+// past) or buffered, so FramesAccepted == FramesBuffered +
+// FramesDiscarded holds at every engine-lock release — the invariant
+// the metrics tests assert. FramesPreempted counts previously valid
+// buffered frames overwritten by a preempting play (they were counted
+// as buffered but never reach the DAC with their original content).
+type IOStats struct {
+	FramesAccepted  uint64 // play frames consumed from requests
+	FramesBuffered  uint64 // play frames mixed or copied into the play buffer
+	FramesDiscarded uint64 // play frames dropped because they were scheduled in the past
+	FramesPreempted uint64 // valid buffered frames overwritten by preempting plays
+	FramesRecorded  uint64 // record frames delivered to clients
 }
 
 // MSUpdate is the nominal periodic update interval in milliseconds.
@@ -121,6 +142,10 @@ func NewDevice(cfg Config, b Backend) *Device {
 	}
 	d.playBuf.Fill(0, frames, d.silence)
 	d.recBuf.Fill(0, frames, d.silence)
+	// The bring-up fill is not operational silence; the counters start
+	// at zero so PlaySilenceFilled reports only gaps inserted later.
+	d.playBuf.ResetFilledFrames()
+	d.recBuf.ResetFilledFrames()
 	t := b.Time()
 	d.now = t
 	// The freshly initialized hardware ring holds silence for the whole
@@ -217,6 +242,20 @@ func gainQ16For(db int) int32 {
 	}
 	return sampleconv.GainQ16(gainFactor(db))
 }
+
+// Stats returns the root device's conservation counters. Call under the
+// owning engine's lock for a consistent read.
+func (d *Device) Stats() IOStats { return d.root().IO }
+
+// PlaySilenceFilled returns the frames of silence inserted into the play
+// buffer to cover gaps between requests (§7.4.1's fill-only-when-needed
+// path). Call under the owning engine's lock.
+func (d *Device) PlaySilenceFilled() uint64 { return d.root().playBuf.FilledFrames() }
+
+// RecSilenceFilled returns the frames of silence written into the record
+// buffer for spans the hardware no longer held. Call under the owning
+// engine's lock.
+func (d *Device) RecSilenceFilled() uint64 { return d.root().recBuf.FilledFrames() }
 
 // InputGain returns the master input gain in dB.
 func (d *Device) InputGain() int { return d.root().inputGainDB }

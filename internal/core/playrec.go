@@ -33,8 +33,11 @@ func (d *Device) Play(start atime.ATime, data []byte, enc sampleconv.Encoding, g
 	if atime.Before(start, now) {
 		skip := int(atime.Sub(now, start))
 		if skip >= total {
+			r.IO.FramesAccepted += uint64(total)
+			r.IO.FramesDiscarded += uint64(total)
 			return PlayResult{Consumed: total, Now: now}
 		}
+		r.IO.FramesDiscarded += uint64(skip)
 		consumed += skip
 		data = data[skip*vfb:]
 		start = now
@@ -70,6 +73,14 @@ func (d *Device) Play(start atime.ATime, data []byte, enc sampleconv.Encoding, g
 		hasGain := q != sampleconv.GainUnity
 		kCopy := sampleconv.SelectKernel(r.Cfg.Enc, enc, false, hasGain)
 		if preempt {
+			// Valid frames in [start, timeLastValid) are overwritten, not
+			// mixed: account the preempted samples the old data loses.
+			if ov := int(atime.Sub(r.timeLastValid, start)); ov > 0 {
+				if ov > n {
+					ov = n
+				}
+				r.IO.FramesPreempted += uint64(ov)
+			}
 			d.blitPlay(start, n, data, enc, q, false, kCopy)
 		} else {
 			kMix := sampleconv.SelectKernel(r.Cfg.Enc, enc, true, hasGain)
@@ -102,8 +113,10 @@ func (d *Device) Play(start atime.ATime, data []byte, enc sampleconv.Encoding, g
 			}
 			r.pushToHW(start, wn)
 		}
+		r.IO.FramesBuffered += uint64(n)
 		consumed += n
 	}
+	r.IO.FramesAccepted += uint64(consumed)
 	return PlayResult{Consumed: consumed, Blocked: n < total, Now: now}
 }
 
@@ -232,5 +245,6 @@ func (d *Device) Record(start atime.ATime, dst []byte, enc sampleconv.Encoding, 
 			d.blitView(a, b, out, enc, q, false, false)
 		}
 	}
+	r.IO.FramesRecorded += uint64(avail)
 	return RecordResult{Avail: avail, Now: now}
 }

@@ -34,7 +34,7 @@ func TestMain(m *testing.M) {
 		"audiofile/cmd/apower", "audiofile/cmd/aset", "audiofile/cmd/ahs",
 		"audiofile/cmd/aphone", "audiofile/cmd/aevents", "audiofile/cmd/alsatoms",
 		"audiofile/cmd/aprop", "audiofile/cmd/afft", "audiofile/cmd/apass",
-		"audiofile/cmd/ahost")
+		"audiofile/cmd/ahost", "audiofile/cmd/astat")
 	cmd.Stderr = os.Stderr
 	if err := cmd.Run(); err != nil {
 		fmt.Fprintln(os.Stderr, "building clients:", err)
@@ -318,4 +318,44 @@ func TestAplayRejectsMismatchedContainer(t *testing.T) {
 	if !strings.Contains(string(out), "device") {
 		t.Errorf("unhelpful error: %s", out)
 	}
+}
+
+func TestAstatAgainstStatsEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time test")
+	}
+	w := newWorld(t, []aserver.DeviceSpec{{Kind: "codec", Name: "codec0"}})
+	sl, err := w.srv.ListenStats("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sl.Close() })
+
+	// Generate real play traffic first so the scrape has counters to show.
+	tone, _ := run(t, nil, "atone", "-f", "440", "-l", "0.3")
+	run(t, []byte(tone), "aplay", "-a", w.addr, "-f", "-t", "0.05")
+
+	out, _ := run(t, nil, "astat", "-a", sl.Addr().String(), "-once")
+	if !strings.Contains(out, "codec0") {
+		t.Errorf("astat output missing device name:\n%s", out)
+	}
+	if !strings.Contains(out, "connects 1") || !strings.Contains(out, "disconnects 1") {
+		t.Errorf("astat output missing the aplay session's connect/disconnect:\n%s", out)
+	}
+	// The device line carries cumulative play bytes; 0.3 s at 8 kHz
+	// µ-law is 2400 bytes.
+	fields := strings.Fields(lineWith(out, "codec0"))
+	if len(fields) < 2 || fields[1] != "2400" {
+		t.Errorf("astat device line play-bytes = %v, want 2400:\n%s", fields, out)
+	}
+}
+
+// lineWith returns the first output line containing substr.
+func lineWith(out, substr string) string {
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, substr) {
+			return l
+		}
+	}
+	return ""
 }

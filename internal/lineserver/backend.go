@@ -1,6 +1,7 @@
 package lineserver
 
 import (
+	"log"
 	"net"
 	"sync"
 	"time"
@@ -22,6 +23,7 @@ type Backend struct {
 	seq  uint32
 
 	timeout time.Duration
+	err     error // first transport setup failure (see noteErr)
 
 	// Device time estimation: "the server generates an estimate of the
 	// LineServer time from the time stamp of the last LineServer packet
@@ -85,10 +87,17 @@ func (b *Backend) roundTrip(req *Packet, tries int) *Packet {
 	for attempt := 0; attempt < tries; attempt++ {
 		b.seq++
 		req.Seq = b.seq
-		if _, err := b.conn.Write(req.Marshal()); err != nil {
+		// Arm the reply deadline before sending: with no deadline a lost
+		// reply would block the read below forever, and arming after the
+		// Write leaves a window where the reply can race the deadline.
+		if err := b.conn.SetReadDeadline(time.Now().Add(b.timeout)); err != nil {
+			b.noteErr(err)
 			return nil
 		}
-		b.conn.SetReadDeadline(time.Now().Add(b.timeout)) //nolint:errcheck
+		if _, err := b.conn.Write(req.Marshal()); err != nil {
+			b.noteErr(err)
+			return nil
+		}
 		for {
 			n, err := b.conn.Read(b.recv)
 			if err != nil {
@@ -104,6 +113,25 @@ func (b *Backend) roundTrip(req *Packet, tries int) *Packet {
 		}
 	}
 	return nil
+}
+
+// noteErr records the first transport failure and logs it once. The
+// backend then degrades to its packet-loss behavior (silence, stale
+// time estimates) instead of hanging or log-spamming: the box being
+// unreachable is normal operation for a UDP peripheral, but a socket
+// that cannot even arm a deadline is worth one line.
+func (b *Backend) noteErr(err error) {
+	if b.err == nil {
+		b.err = err
+		log.Printf("lineserver: transport error (degrading to loss behavior): %v", err)
+	}
+}
+
+// Err reports the first transport failure seen by roundTrip, if any.
+func (b *Backend) Err() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err
 }
 
 // Time implements core.Backend: the estimated LineServer device time.

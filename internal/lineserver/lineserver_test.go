@@ -201,3 +201,28 @@ func TestBackendSurvivesDeadBox(t *testing.T) {
 		t.Error("register read succeeded against dead box")
 	}
 }
+
+// TestBackendDeadClosedTransport: once the backend's socket is closed,
+// round trips must fail fast — SetReadDeadline errors are detected
+// before the send, so the read can never block without a deadline —
+// and the first failure is recorded on Err.
+func TestBackendDeadClosedTransport(t *testing.T) {
+	fw, b, _ := bootBox(t)
+	fw.Close()
+	b.Close()
+
+	if err := b.Err(); err != nil {
+		t.Fatalf("healthy session already recorded a transport error: %v", err)
+	}
+	start := time.Now()
+	b.Time() // must not hang on a deadline-less read
+	if el := time.Since(start); el > 2*time.Second {
+		t.Errorf("Time on a closed backend took %v", el)
+	}
+	if b.Err() == nil {
+		t.Error("closed transport did not record an error")
+	}
+	if _, ok := b.Loopback([]byte{1, 2, 3}); ok {
+		t.Error("loopback succeeded on a closed transport")
+	}
+}

@@ -1,0 +1,37 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkMetricsHotPath is the allocation gate for the observation
+// path: the exact sequence a hot request performs (counter add, gauge
+// touch, two histogram observations) must be allocation-free. CI fails
+// on any BenchmarkMetrics* line reporting >0 allocs/op.
+func BenchmarkMetricsHotPath(b *testing.B) {
+	r := NewRegistry()
+	reqs := r.Counter("requests")
+	depth := r.Gauge("depth")
+	lat := r.Histogram("latency_ns")
+	size := r.Histogram("bytes")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reqs.Inc()
+		depth.Add(1)
+		lat.ObserveDuration(time.Duration(i) * time.Nanosecond)
+		size.Observe(int64(i & 0xFFFF))
+		depth.Add(-1)
+	}
+}
+
+// BenchmarkMetricsObserve isolates a single histogram observation.
+func BenchmarkMetricsObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+}

@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	// 0 -> bucket 0; 1 -> bucket 1; 2,3 -> bucket 2; 1000 -> bucket 10.
+	for _, v := range []int64{0, 1, 2, 3, 1000, -5} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 6 {
+		t.Fatalf("count = %d, want 6", s.Count)
+	}
+	if s.Sum != 0+1+2+3+1000+0 {
+		t.Fatalf("sum = %d, want 1006", s.Sum)
+	}
+	want := map[uint8]uint64{0: 2, 1: 1, 2: 2, 10: 1} // -5 clamps to 0
+	got := map[uint8]uint64{}
+	for _, b := range s.Buckets {
+		got[b.Bit] = b.Count
+	}
+	for bit, n := range want {
+		if got[bit] != n {
+			t.Errorf("bucket %d = %d, want %d (snapshot %+v)", bit, got[bit], n, s)
+		}
+	}
+}
+
+func TestHistogramClampsHugeValues(t *testing.T) {
+	var h Histogram
+	h.Observe(1 << 62)
+	s := h.Snapshot()
+	if len(s.Buckets) != 1 || s.Buckets[0].Bit != NumBuckets-1 {
+		t.Fatalf("huge value not clamped into last bucket: %+v", s)
+	}
+	if s.Sum != 1<<62 {
+		t.Fatalf("sum should be exact even for clamped values: %d", s.Sum)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 99; i++ {
+		h.Observe(100) // bucket 7, upper bound 127
+	}
+	h.Observe(100000) // bucket 17, upper bound 131071
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q != 127 {
+		t.Errorf("p50 = %d, want 127", q)
+	}
+	if q := s.Quantile(0.99); q != 127 {
+		t.Errorf("p99 = %d, want 127 (99 of 100 observations are 100)", q)
+	}
+	if m := s.Max(); m != 131071 {
+		t.Errorf("max = %d, want 131071", m)
+	}
+	if mean := s.Mean(); mean < 1000 || mean > 1200 {
+		t.Errorf("mean = %f, want ~1099", mean)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	const gor, per = 8, 1000
+	for i := 0; i < gor; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				h.ObserveDuration(time.Duration(j) * time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != gor*per {
+		t.Fatalf("count = %d, want %d", got, gor*per)
+	}
+}
+
+func TestRegistryExpvar(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("server.requests")
+	g := r.Gauge("server.clients")
+	h := r.Histogram("dispatch.play_ns")
+	c.Add(3)
+	g.Set(2)
+	h.Observe(1500)
+
+	var buf bytes.Buffer
+	if err := r.WriteExpvar(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("expvar output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if m["server.requests"].(float64) != 3 {
+		t.Errorf("requests = %v", m["server.requests"])
+	}
+	if m["server.clients"].(float64) != 2 {
+		t.Errorf("clients = %v", m["server.clients"])
+	}
+	hist, ok := m["dispatch.play_ns"].(map[string]any)
+	if !ok || hist["count"].(float64) != 1 {
+		t.Errorf("histogram = %v", m["dispatch.play_ns"])
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x")
+	r.Counter("x")
+}
+
+func TestSnapshotRoundTripsJSON(t *testing.T) {
+	var h Histogram
+	h.Observe(12)
+	h.Observe(40000)
+	b, err := json.Marshal(h.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s HistogramSnapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count != 2 || s.Sum != 40012 || len(s.Buckets) != 2 {
+		t.Fatalf("round trip lost data: %+v", s)
+	}
+}

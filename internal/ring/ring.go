@@ -22,6 +22,13 @@ type Ring struct {
 	frames     uint32 // power of two
 	mask       uint32
 	frameBytes int
+
+	// filled counts frames written by Fill over the ring's lifetime —
+	// for the server's play buffer that is exactly the silence-filled
+	// sample count the observability layer reports. Plain (not atomic):
+	// a Ring is single-owner, guarded by its device's engine lock; the
+	// metrics snapshot reads it under the same lock.
+	filled uint64
 }
 
 // RoundFrames rounds n up to the next power of two (minimum 2).
@@ -111,4 +118,13 @@ func (r *Ring) Fill(t atime.ATime, nframes int, v byte) {
 	for i := range b {
 		b[i] = v
 	}
+	r.filled += uint64(nframes)
 }
+
+// FilledFrames returns the cumulative number of frames written by Fill.
+func (r *Ring) FilledFrames() uint64 { return r.filled }
+
+// ResetFilledFrames zeroes the fill counter. Device bring-up fills the
+// whole ring with silence once; resetting afterwards keeps the counter
+// meaning "silence inserted during operation".
+func (r *Ring) ResetFilledFrames() { r.filled = 0 }

@@ -1,0 +1,383 @@
+// Metrics invariant tests: run the shard-stress workload shapes and then
+// hold the observability layer to its conservation laws. The laws are
+// exact, not statistical — every frame a play request delivers is either
+// buffered or discarded, every park started is completed or discarded,
+// every connect is matched by a disconnect once the clients are gone —
+// so any drift here means a counter has lost its single owner. Run under
+// -race in CI alongside the stress tests.
+package audiofile
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"audiofile/af"
+	"audiofile/aserver"
+	"audiofile/internal/netsim"
+	"audiofile/internal/vdev"
+)
+
+// drainSnapshot polls until every client is gone (connects ==
+// disconnects, no parks outstanding) and returns the settled snapshot.
+// Client teardown is asynchronous — the reader exits, then the loop
+// unregisters — so the counters converge shortly after the last Close.
+func drainSnapshot(t *testing.T, srv *aserver.Server) aserver.Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		s := srv.Snapshot()
+		parked := int64(0)
+		for _, d := range s.Devices {
+			parked += d.ParkedNow
+		}
+		if s.Connects == s.Disconnects && s.ActiveClients == 0 && parked == 0 {
+			return s
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server did not drain: connects=%d disconnects=%d active=%d parked=%d",
+				s.Connects, s.Disconnects, s.ActiveClients, parked)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// checkConservation asserts the per-device frame and park accounting
+// laws on a drained snapshot.
+func checkConservation(t *testing.T, s aserver.Snapshot) {
+	t.Helper()
+	for _, d := range s.Devices {
+		if d.FramesAccepted != d.FramesBuffered+d.FramesDiscarded {
+			t.Errorf("device %d: accepted %d != buffered %d + discarded %d",
+				d.Index, d.FramesAccepted, d.FramesBuffered, d.FramesDiscarded)
+		}
+		if d.FramesPreempted > d.FramesBuffered {
+			t.Errorf("device %d: preempted %d > buffered %d",
+				d.Index, d.FramesPreempted, d.FramesBuffered)
+		}
+		if d.ParksStarted != d.ParksCompleted+d.ParksDiscarded {
+			t.Errorf("device %d: parks started %d != completed %d + discarded %d",
+				d.Index, d.ParksStarted, d.ParksCompleted, d.ParksDiscarded)
+		}
+	}
+	dispatched := s.DispatchPlayNs.Count + s.DispatchRecordNs.Count +
+		s.DispatchGetTimeNs.Count + s.DispatchControlNs.Count
+	if s.Requests != dispatched {
+		t.Errorf("requests %d != dispatch observations %d", s.Requests, dispatched)
+	}
+}
+
+// TestMetricsConservation runs the full stress mix — several devices,
+// preempting and mixing players, blocking records resolved by a clock
+// stepper, and killer clients that drop their transport mid-park — then
+// asserts every conservation law on the drained counters.
+func TestMetricsConservation(t *testing.T) {
+	const devices = 3
+	const healthy = 8
+	const killers = 4
+	const iters = 50
+
+	clocks := make([]*vdev.ManualClock, devices)
+	specs := make([]aserver.DeviceSpec, devices)
+	for i := range specs {
+		clocks[i] = vdev.NewManualClock(8000)
+		specs[i] = aserver.DeviceSpec{
+			Kind:  "codec",
+			Name:  fmt.Sprintf("codec%d", i),
+			Clock: clocks[i],
+		}
+	}
+	srv, err := aserver.New(aserver.Options{Devices: specs, Logf: func(string, ...any) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+
+	stop := make(chan struct{})
+	var stepWG sync.WaitGroup
+	stepWG.Add(1)
+	go func() {
+		defer stepWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, clk := range clocks {
+				clk.Advance(256)
+			}
+			srv.Sync()
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	t.Cleanup(stepWG.Wait)
+	t.Cleanup(func() { close(stop) })
+
+	var firstErr atomic.Value
+	fail := func(err error) {
+		if err != nil {
+			firstErr.CompareAndSwap(nil, err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	var playBytesSent [devices]atomic.Uint64
+	for i := 0; i < healthy; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conn, err := af.NewConn(srv.DialPipe())
+			if err != nil {
+				fail(err)
+				return
+			}
+			defer conn.Close()
+			conn.SetIOErrorHandler(func(*af.Conn, error) {})
+			var attrs af.ACAttributes
+			mask := uint32(0)
+			if i%2 == 0 {
+				mask, attrs.Preempt = af.ACPreemption, true
+			}
+			dev := i % devices
+			ac, err := conn.CreateAC(dev, mask, attrs)
+			if err != nil {
+				fail(err)
+				return
+			}
+			data := make([]byte, 4096)
+			buf := make([]byte, 256)
+			for j := 0; j < iters; j++ {
+				now, err := ac.GetTime()
+				if err != nil {
+					fail(err)
+					return
+				}
+				switch j % 3 {
+				case 0:
+					if _, err := ac.PlaySamples(now.Add(1024), data); err != nil {
+						fail(err)
+						return
+					}
+					playBytesSent[dev].Add(uint64(len(data)))
+				case 1:
+					if _, _, err := ac.RecordSamples(now, buf, true); err != nil {
+						fail(err)
+						return
+					}
+				case 2:
+					if _, err := ac.GetTime(); err != nil {
+						fail(err)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+
+	// Killer clients: park a record far in the future, then cut the
+	// transport. Their parks must drain as discarded, not completed.
+	for i := 0; i < killers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			nc := srv.DialPipe()
+			conn, err := af.NewConn(nc)
+			if err != nil {
+				fail(err)
+				return
+			}
+			conn.SetIOErrorHandler(func(*af.Conn, error) {})
+			ac, err := conn.CreateAC(i%devices, 0, af.ACAttributes{})
+			if err != nil {
+				fail(err)
+				return
+			}
+			now, err := ac.GetTime()
+			if err != nil {
+				fail(err)
+				return
+			}
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				buf := make([]byte, 256)
+				ac.RecordSamples(now.Add(10_000_000), buf, true) //nolint:errcheck
+			}()
+			time.Sleep(5 * time.Millisecond)
+			nc.Close()
+			<-done
+		}(i)
+	}
+
+	wg.Wait()
+	if err := firstErr.Load(); err != nil {
+		t.Fatal(err)
+	}
+
+	s := drainSnapshot(t, srv)
+	checkConservation(t, s)
+
+	// The workload must actually have moved the counters it claims to
+	// conserve, or the laws hold vacuously.
+	for _, d := range s.Devices {
+		if d.FramesAccepted == 0 {
+			t.Errorf("device %d: no frames accepted; workload did not exercise play", d.Index)
+		}
+		if d.FramesRecorded == 0 {
+			t.Errorf("device %d: no frames recorded", d.Index)
+		}
+		// MU255 mono: one byte per frame, and no play in this mix ever
+		// aborts mid-park, so wire bytes in equal frames accepted.
+		if want := playBytesSent[d.Index].Load(); d.PlayBytes != want || d.FramesAccepted != want {
+			t.Errorf("device %d: play bytes %d / frames accepted %d, want %d (bytes sent)",
+				d.Index, d.PlayBytes, d.FramesAccepted, want)
+		}
+	}
+	if s.DispatchPlayNs.Count == 0 || s.DispatchRecordNs.Count == 0 || s.DispatchGetTimeNs.Count == 0 {
+		t.Error("hot dispatch histograms did not all move")
+	}
+	killed := uint64(0)
+	for _, d := range s.Devices {
+		killed += d.ParksDiscarded
+	}
+	if killed < killers {
+		t.Errorf("parks discarded %d < killer clients %d", killed, killers)
+	}
+}
+
+// TestMetricsFaultInjectedClients drives the server through netsim's
+// deterministic fault layer over real TCP: clients whose writes arrive
+// fragmented at arbitrary boundaries must see a fully correct session,
+// and clients whose connection resets mid-message must be torn down
+// cleanly — the conservation laws and the connect/disconnect balance
+// hold either way.
+func TestMetricsFaultInjectedClients(t *testing.T) {
+	srv, err := aserver.New(aserver.Options{
+		Devices: []aserver.DeviceSpec{{Kind: "codec", Name: "codec0", Clock: vdev.NewManualClock(8000)}},
+		Logf:    func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	l, err := srv.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+
+	dialFault := func(cfg netsim.FaultConfig) net.Conn {
+		nc, err := net.Dial("tcp", l.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return netsim.NewFaultConn(nc, cfg)
+	}
+
+	var wg sync.WaitGroup
+	var firstErr atomic.Value
+	fail := func(err error) {
+		if err != nil {
+			firstErr.CompareAndSwap(nil, err)
+		}
+	}
+
+	// Fragmented clients: every wire byte arrives in 1..7 byte pieces
+	// (splitting even the 4-byte request headers); the session must be
+	// indistinguishable from a clean transport.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fc := dialFault(netsim.FaultConfig{Seed: int64(1000 + i), FragmentWrites: true, MaxFragment: 7})
+			conn, err := af.NewConn(fc)
+			if err != nil {
+				fail(fmt.Errorf("fragmented setup: %w", err))
+				return
+			}
+			defer conn.Close()
+			conn.SetIOErrorHandler(func(*af.Conn, error) {})
+			ac, err := conn.CreateAC(0, 0, af.ACAttributes{})
+			if err != nil {
+				fail(err)
+				return
+			}
+			data := make([]byte, 1024)
+			for j := 0; j < 20; j++ {
+				now, err := ac.GetTime()
+				if err != nil {
+					fail(err)
+					return
+				}
+				if _, err := ac.PlaySamples(now.Add(512), data); err != nil {
+					fail(err)
+					return
+				}
+			}
+			if err := conn.Sync(); err != nil {
+				fail(err)
+			}
+		}(i)
+	}
+
+	// Reset clients: the connection dies at a byte count chosen to land
+	// inside a play request's payload. The server must unwind the
+	// half-read message and unregister the client; the expected client-
+	// side error is the injected reset itself.
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fc := dialFault(netsim.FaultConfig{Seed: int64(i), ResetAfterBytes: 300 + 50*i})
+			conn, err := af.NewConn(fc)
+			if err != nil {
+				return // reset landed inside setup; also a valid cut
+			}
+			defer conn.Close()
+			conn.SetIOErrorHandler(func(*af.Conn, error) {})
+			ac, err := conn.CreateAC(0, 0, af.ACAttributes{})
+			if err != nil {
+				return
+			}
+			data := make([]byte, 4096)
+			for j := 0; j < 10; j++ {
+				now, err := ac.GetTime()
+				if err != nil {
+					return
+				}
+				if _, err := ac.PlaySamples(now.Add(512), data); err != nil {
+					return
+				}
+			}
+		}(i)
+	}
+
+	wg.Wait()
+	if err := firstErr.Load(); err != nil {
+		t.Fatal(err)
+	}
+
+	s := drainSnapshot(t, srv)
+	checkConservation(t, s)
+	if s.Connects < 4 {
+		t.Errorf("connects = %d, want at least the 4 fragmented clients", s.Connects)
+	}
+
+	// The server must still serve a clean client.
+	conn, err := af.NewConn(srv.DialPipe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetIOErrorHandler(func(*af.Conn, error) {})
+	if _, err := conn.GetTime(0); err != nil {
+		t.Fatalf("server unhealthy after fault injection: %v", err)
+	}
+	if err := conn.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
