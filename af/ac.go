@@ -99,6 +99,7 @@ func (c *Conn) CreateAC(device int, mask uint32, attrs ACAttributes) (*AC, error
 	if err := c.finishReq(); err != nil {
 		return nil, err
 	}
+	c.acs[ac.id] = ac
 	return ac, nil
 }
 
@@ -151,6 +152,7 @@ func (ac *AC) Free() error {
 		return nil
 	}
 	ac.freed = true
+	delete(c.acs, ac.id)
 	if err := proto.AppendFreeAC(&c.w, ac.id); err != nil {
 		return err
 	}
@@ -210,8 +212,28 @@ var padZero [4]byte
 // caller's slice. It returns the current device time.
 func (ac *AC) PlaySamples(t ATime, data []byte) (ATime, error) {
 	c := ac.conn
+	var onResync func(*Conn)
+	defer func() {
+		if onResync != nil {
+			onResync(c)
+		}
+	}()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	now, err := ac.playSamplesLocked(t, data)
+	if c.shouldReconnect(err) {
+		if rerr := c.reconnectLocked(); rerr == nil {
+			onResync = c.reconnect.OnResync
+			// The device time base moved across the restart; the caller
+			// must reanchor before resuming, so no transparent retry.
+			return now, &ReconnectedError{Err: err}
+		}
+	}
+	return now, err
+}
+
+func (ac *AC) playSamplesLocked(t ATime, data []byte) (ATime, error) {
+	c := ac.conn
 	fb := ac.frameBytes()
 	chunk := proto.ChunkBytes / fb * fb
 	if chunk == 0 {
@@ -335,8 +357,26 @@ func (ac *AC) playVectored(t ATime, data []byte, chunk int) (ATime, error) {
 // just past the returned byte count.
 func (ac *AC) RecordSamples(t ATime, buf []byte, block bool) (ATime, int, error) {
 	c := ac.conn
+	var onResync func(*Conn)
+	defer func() {
+		if onResync != nil {
+			onResync(c)
+		}
+	}()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	now, total, err := ac.recordSamplesLocked(t, buf, block)
+	if c.shouldReconnect(err) {
+		if rerr := c.reconnectLocked(); rerr == nil {
+			onResync = c.reconnect.OnResync
+			return now, total, &ReconnectedError{Err: err}
+		}
+	}
+	return now, total, err
+}
+
+func (ac *AC) recordSamplesLocked(t ATime, buf []byte, block bool) (ATime, int, error) {
+	c := ac.conn
 	fb := ac.frameBytes()
 	chunk := proto.ChunkBytes / fb * fb
 	if chunk == 0 {
@@ -416,9 +456,28 @@ func (ac *AC) GetTime() (ATime, error) {
 }
 
 // GetTime returns the current device time of a device (AFGetTime).
+// GetTime is idempotent, so with reconnection enabled (SetReconnect) a
+// transport failure is retried transparently on the new session.
 func (c *Conn) GetTime(device int) (ATime, error) {
+	var onResync func(*Conn)
+	defer func() {
+		if onResync != nil {
+			onResync(c)
+		}
+	}()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	t, err := c.getTimeLocked(device)
+	if c.shouldReconnect(err) {
+		if rerr := c.reconnectLocked(); rerr == nil {
+			onResync = c.reconnect.OnResync
+			return c.getTimeLocked(device)
+		}
+	}
+	return t, err
+}
+
+func (c *Conn) getTimeLocked(device int) (ATime, error) {
 	if err := proto.AppendDeviceReq(&c.w, proto.OpGetTime, uint32(device)); err != nil {
 		return 0, err
 	}

@@ -190,6 +190,10 @@ type Conn struct {
 	order binary.ByteOrder
 	name  string
 
+	// network/addr is the redial target captured by Open; empty for
+	// connections made over a caller-supplied transport (NewConn).
+	network, addr string
+
 	// rmsg is the reusable incoming-message buffer: the reply stream is
 	// read into it without allocating. Its contents (including any Extra
 	// bytes) are only valid until the next read, so anything handed to
@@ -214,12 +218,22 @@ type Conn struct {
 	devices []Device
 
 	nextACID uint32
+	// acs tracks the live audio contexts by id, so a reconnect can
+	// recreate them (ids are client-allocated; attributes are mirrored).
+	acs map[uint32]*AC
 
 	synchronous bool
 	afterFunc   func(*Conn)
 
 	errHandler   func(*Conn, *ProtoError)
 	ioErrHandler func(*Conn, error)
+
+	// reconnect enables transparent reconnection (see SetReconnect);
+	// closeNotice records a connection-scoped typed error the server sent
+	// before closing (Overload eviction, Drain shutdown), so the
+	// transport failure that follows is surfaced as a ServerClosedError.
+	reconnect   *ReconnectOptions
+	closeNotice uint8
 
 	ioErr  error
 	closed bool
@@ -270,6 +284,7 @@ func Open(name string) (*Conn, error) {
 		return nil, err
 	}
 	c.name = name
+	c.network, c.addr = network, addr
 	return c, nil
 }
 
@@ -346,6 +361,7 @@ func NewConnOrder(conn net.Conn, bigEndian bool) (*Conn, error) {
 		w:        proto.Writer{Order: order},
 		vendor:   rep.Vendor,
 		nextACID: 1,
+		acs:      make(map[uint32]*AC),
 	}
 	for _, d := range rep.Devices {
 		c.devices = append(c.devices, Device{

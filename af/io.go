@@ -55,9 +55,14 @@ func (c *Conn) Flush() error {
 }
 
 // ioError records a fatal transport error and invokes the I/O error
-// handler.
+// handler. If the server announced why it was closing the session (an
+// Overload eviction or Drain shutdown notice), the transport failure is
+// wrapped in a ServerClosedError carrying that code.
 func (c *Conn) ioError(err error) error {
 	if c.ioErr == nil {
+		if c.closeNotice != 0 {
+			err = &ServerClosedError{Code: c.closeNotice, Err: err}
+		}
 		c.ioErr = fmt.Errorf("af: connection error: %w", err)
 		if c.ioErrHandler != nil {
 			c.ioErrHandler(c, c.ioErr)
@@ -127,6 +132,13 @@ func (c *Conn) dispatchAsync(msg *proto.Message) {
 	case msg.Event != nil:
 		c.events = append(c.events, eventFromWire(msg.Event))
 	case msg.Error != nil:
+		if msg.Error.Code == proto.ErrOverload || msg.Error.Code == proto.ErrDrain {
+			// A connection-scoped goodbye, not a per-request failure: the
+			// server is about to close the transport. Remember why, so the
+			// error the next operation hits is typed (ServerClosedError).
+			c.closeNotice = msg.Error.Code
+			return
+		}
 		pe := protoErrFromWire(msg.Error)
 		if c.errHandler != nil {
 			// The handler runs with the connection lock held; it must not
@@ -185,9 +197,13 @@ func (c *Conn) awaitReplyDirect(seq uint16, dst []byte) (*proto.Reply, error) {
 		if msg.Reply != nil && msg.Reply.Seq == seq {
 			return msg.Reply, nil
 		}
-		if msg.Error != nil && msg.Error.Seq == seq {
+		if msg.Error != nil && msg.Error.Seq == seq &&
+			msg.Error.Code != proto.ErrOverload && msg.Error.Code != proto.ErrDrain {
 			return nil, protoErrFromWire(msg.Error)
 		}
+		// Overload/Drain goodbyes are connection-scoped even when their
+		// sequence number matches the awaited request; dispatchAsync records
+		// them and the loop runs on to the transport close that follows.
 		c.dispatchAsync(msg)
 	}
 }

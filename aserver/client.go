@@ -3,9 +3,11 @@ package aserver
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -72,12 +74,31 @@ type client struct {
 	// sequence number. Atomic because events are stamped with it from
 	// engine goroutines while the reader advances it.
 	seq atomic.Uint32
-	// dead marks a client that must receive no further output (queue
-	// overflow, unregister). Checked by every sender.
+	// dead marks a client that must receive no further output (eviction,
+	// unregister). Checked by every sender.
 	dead atomic.Bool
 
 	outCh  chan *[]byte
 	closed chan struct{}
+
+	// queuedBytes is the marshaled bytes sitting in outCh: incremented by
+	// send before enqueue, decremented by the writer after the bytes
+	// reach the kernel (and by drainResidual for bytes that never do).
+	queuedBytes atomic.Int64
+	// lastActive is the unix-nano time of the last dispatched request,
+	// the idleness key for server-wide shedding.
+	lastActive atomic.Int64
+	// flow is the slow-consumer eviction policy (see overload.go).
+	flow evictPolicy
+
+	// Eviction state. evict() runs once: it records why (closeReason,
+	// classified into a counter by removeClient) and what to tell the
+	// client (goodbye, a proto.Err* code the writer sends as its last
+	// message), then interrupts the writer via the evicted channel.
+	goodbye     atomic.Uint32
+	closeReason atomic.Uint32
+	evicted     chan struct{}
+	evictOnce   sync.Once
 
 	acs        map[uint32]*ac
 	eventMasks map[int]uint32 // guarded by Server.clientMu
@@ -85,9 +106,48 @@ type client struct {
 	removed bool // loop-side flag: removeClient already ran
 }
 
-// outQueueDepth bounds the per-client outgoing message queue. A client
-// that stops reading while the server has this much buffered is
-// disconnected rather than allowed to wedge the server.
+// newClient builds a connection's server-side state with the server's
+// per-client budgets applied. Shared by handleConn and the bench/test
+// harnesses so they exercise the real queue and writer policy.
+func newClient(s *Server, conn net.Conn, order binary.ByteOrder) *client {
+	c := &client{
+		s:          s,
+		conn:       conn,
+		order:      order,
+		outCh:      make(chan *[]byte, outQueueDepth),
+		closed:     make(chan struct{}),
+		evicted:    make(chan struct{}),
+		acs:        make(map[uint32]*ac),
+		eventMasks: make(map[int]uint32),
+	}
+	// Field-by-field: evictPolicy holds an atomic and must not be copied.
+	c.flow.budget = s.budget.clientQueue
+	c.flow.grace = s.budget.evictGrace
+	c.flow.rate = s.budget.evictRate
+	c.lastActive.Store(time.Now().UnixNano())
+	return c
+}
+
+// evict marks the client for disconnection with a typed protocol error.
+// First call wins; the writer wakes, sends the goodbye, and closes the
+// transport. Callable from any goroutine, never blocks.
+func (c *client) evict(reason uint32, code uint8) {
+	c.evictOnce.Do(func() {
+		c.closeReason.Store(reason)
+		c.goodbye.Store(uint32(code))
+		c.dead.Store(true)
+		// A writer blocked mid-write on a transport that stopped draining
+		// must not delay the teardown: expire the in-flight write. The
+		// goodbye flush arms its own fresh deadline.
+		c.conn.SetWriteDeadline(time.Now()) //nolint:errcheck
+		close(c.evicted)
+	})
+}
+
+// outQueueDepth bounds the per-client outgoing message queue in
+// messages; it is the hard backstop behind the byte-budget policy. A
+// client that stops reading while the server has this many messages
+// queued is evicted immediately rather than allowed to wedge the server.
 const outQueueDepth = 1024
 
 // handleConn performs connection setup and runs the reader.
@@ -107,6 +167,16 @@ func (s *Server) handleConn(conn net.Conn) {
 		return
 	}
 	conn.SetDeadline(time.Time{})
+
+	// A draining server accepts no new sessions; the listener is already
+	// closed, but races (and DialPipe) can still deliver setups here.
+	if s.draining.Load() {
+		rep := proto.SetupReply{Success: false, Reason: "server draining",
+			Major: proto.ProtocolMajor, Minor: proto.ProtocolMinor}
+		rep.Send(conn, order) //nolint:errcheck
+		conn.Close()
+		return
+	}
 
 	// Version negotiation: the major version must match; minor skew is
 	// tolerated (the X convention the protocol setup copies).
@@ -139,15 +209,7 @@ func (s *Server) handleConn(conn net.Conn) {
 		return
 	}
 
-	c := &client{
-		s:          s,
-		conn:       conn,
-		order:      order,
-		outCh:      make(chan *[]byte, outQueueDepth),
-		closed:     make(chan struct{}),
-		acs:        make(map[uint32]*ac),
-		eventMasks: make(map[int]uint32),
-	}
+	c := newClient(s, conn, order)
 	select {
 	case s.regCh <- c:
 	case <-s.done:
@@ -218,9 +280,9 @@ func (c *client) reader() {
 		if n < 4 {
 			break
 		}
-		framep := getReqFrame(n - 4)
+		framep := c.s.getFrame(n - 4)
 		if err := readBodyDirect(br, c.conn, *framep); err != nil {
-			putReqFrame(framep)
+			c.s.putFrame(framep)
 			break
 		}
 		if await != nil {
@@ -228,22 +290,22 @@ func (c *client) reader() {
 			case <-await.done:
 				await = nil
 			case <-c.closed:
-				putReqFrame(framep)
+				c.s.putFrame(framep)
 				return
 			case <-c.s.done:
-				putReqFrame(framep)
+				c.s.putFrame(framep)
 				return
 			}
 		}
 		if c.dead.Load() {
-			putReqFrame(framep)
+			c.s.putFrame(framep)
 			break
 		}
 		req.op, req.ext, req.body, req.frame, req.done = op, ext, *framep, framep, nil
 		if hotOp(op) {
 			await = c.s.dispatchHot(req)
 			if await == nil {
-				putReqFrame(framep)
+				c.s.putFrame(framep)
 			}
 			// On park the frame now belongs to the parked state; it
 			// returns to the pool when the park finishes.
@@ -253,19 +315,19 @@ func (c *client) reader() {
 		select {
 		case c.s.reqCh <- req:
 		case <-c.s.done:
-			putReqFrame(framep)
+			c.s.putFrame(framep)
 			return
 		case <-c.closed:
-			putReqFrame(framep)
+			c.s.putFrame(framep)
 			return
 		}
 		select {
 		case <-req.done:
 		case <-c.s.stopped:
-			putReqFrame(framep)
+			c.s.putFrame(framep)
 			return
 		}
-		putReqFrame(framep)
+		c.s.putFrame(framep)
 	}
 	select {
 	case c.s.unregCh <- c:
@@ -279,13 +341,27 @@ func (c *client) reader() {
 // once; the kernel-side iovec limit is handled by net.Buffers itself.
 const maxWriteVec = 64
 
-// writer drains the outgoing queue onto the wire until the loop closes
-// the client (c.closed). Queued messages are gathered into one vectored
-// write (writev on TCP and Unix sockets), so marshaled bytes go from the
-// pooled message buffers to the kernel without the intermediate copy a
-// bufio layer would make. Buffers return to the pool once their vector
-// has been written.
+// goodbyeTimeout bounds the final write of an evicted or drained
+// connection: the typed error (and any queued tail) is offered to the
+// peer for this long, then the transport closes regardless.
+const goodbyeTimeout = 250 * time.Millisecond
+
+// writer drains the outgoing queue onto the wire until the client is
+// evicted or the loop closes it (c.closed). Queued messages are gathered
+// into one vectored write (writev on TCP and Unix sockets), so marshaled
+// bytes go from the pooled message buffers to the kernel without the
+// intermediate copy a bufio layer would make. Buffers return to the pool
+// once their vector has been written.
+//
+// While the client is over its byte budget every flush runs under a
+// write deadline: a transport that stops draining for longer than the
+// policy allows is a missed deadline, which is eviction. On eviction the
+// writer sends the typed goodbye error, closes the conn (unblocking the
+// reader), and finally settles the byte accounting for anything that
+// never reached the wire (drainResidual, which must run after the close
+// so the reader-unregister path can complete first).
 func (c *client) writer() {
+	defer c.drainResidual()
 	defer c.conn.Close()
 	vec := make([][]byte, 0, maxWriteVec)
 	owned := make([]*[]byte, 0, maxWriteVec)
@@ -297,6 +373,13 @@ func (c *client) writer() {
 			return nil
 		}
 		c.s.sm.writevBatch.Observe(int64(len(vec)))
+		// WriteTo consumes the vector in place, so sum the byte count
+		// first; the accounting must match what was handed over whether
+		// or not the write succeeds (the transport owns the bytes now).
+		var nb int64
+		for _, b := range vec {
+			nb += int64(len(b))
+		}
 		bufs = vec
 		_, err := bufs.WriteTo(c.conn)
 		bufs = nil
@@ -304,28 +387,55 @@ func (c *client) writer() {
 			putMsg(m)
 		}
 		vec, owned = vec[:0], owned[:0]
+		queued := c.queuedBytes.Add(-nb)
+		c.s.sm.queuedBytes.Add(-nb)
+		c.flow.onDrain(queued)
 		return err
+	}
+	// goodbye drains what is already queued, appends the typed close
+	// error if one was recorded, and writes it all best-effort under a
+	// short deadline so a peer that stopped reading cannot pin us here.
+	goodbye := func() {
+		c.conn.SetWriteDeadline(time.Now().Add(goodbyeTimeout)) //nolint:errcheck
+		for {
+			select {
+			case msg := <-c.outCh:
+				vec = append(vec, *msg)
+				owned = append(owned, msg)
+				if len(vec) == maxWriteVec && flush() != nil {
+					return
+				}
+				continue
+			default:
+			}
+			break
+		}
+		if code := uint8(c.goodbye.Load()); code != 0 {
+			m := getMsg()
+			w := proto.Writer{Order: c.order, Buf: (*m)[:0]}
+			e := proto.ErrorMsg{Code: code, Seq: uint16(c.seq.Load()),
+				BadValue: uint32(c.queuedBytes.Load())}
+			e.Encode(&w)
+			*m = w.Buf
+			// The goodbye joins the accounting so the flush's decrement
+			// balances.
+			n := int64(len(*m))
+			c.queuedBytes.Add(n)
+			c.s.sm.queuedBytes.Add(n)
+			vec = append(vec, *m)
+			owned = append(owned, m)
+		}
+		flush() //nolint:errcheck — connection is going away
 	}
 	for {
 		var msg *[]byte
 		select {
 		case msg = <-c.outCh:
+		case <-c.evicted:
+			goodbye()
+			return
 		case <-c.closed:
-			// Drain anything already queued, then write and go.
-			for {
-				select {
-				case msg = <-c.outCh:
-					vec = append(vec, *msg)
-					owned = append(owned, msg)
-					if len(vec) == maxWriteVec && flush() != nil {
-						return
-					}
-					continue
-				default:
-				}
-				break
-			}
-			flush() //nolint:errcheck — connection is going away
+			goodbye()
 			return
 		}
 		vec = append(vec, *msg)
@@ -341,34 +451,120 @@ func (c *client) writer() {
 			}
 			break
 		}
-		if err := flush(); err != nil {
+		allow, over := c.flow.writeAllowance(c.queuedBytes.Load(), time.Now().UnixNano())
+		if over {
+			c.conn.SetWriteDeadline(time.Now().Add(allow)) //nolint:errcheck
+		}
+		err := flush()
+		if over && err == nil {
+			c.conn.SetWriteDeadline(time.Time{}) //nolint:errcheck
+		}
+		if err != nil {
+			if c.dead.Load() {
+				// Evicted mid-write (the deadline interrupt): still try
+				// to say why before closing.
+				goodbye()
+				return
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				c.s.logf("aserver: client %v missed its write deadline, evicting", c.conn.RemoteAddr())
+				c.evict(closeReasonEvict, proto.ErrOverload)
+				goodbye()
+				return
+			}
 			return
 		}
 	}
 }
 
-// send queues a marshaled message; it reports false (and abandons the
-// client) if the queue is full. Ownership of msg passes to the writer
-// goroutine on success and back to the pool on failure. Safe from any
-// goroutine.
+// drainResidual settles the byte accounting for messages that were
+// queued but never written. It waits for removeClient (which closes
+// c.closed) because until the client is out of every registry a sender
+// may still be enqueueing; after that the final sweep is exact — any
+// sender racing past the dead check compensates via unqueueOne.
+func (c *client) drainResidual() {
+	settle := func(m *[]byte) {
+		n := int64(len(*m))
+		c.queuedBytes.Add(-n)
+		c.s.sm.queuedBytes.Add(-n)
+		putMsg(m)
+	}
+	for {
+		select {
+		case m := <-c.outCh:
+			settle(m)
+		case <-c.closed:
+			for {
+				select {
+				case m := <-c.outCh:
+					settle(m)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// unqueueOne removes and settles one queued message, if any. Called by a
+// sender that enqueued and then observed the client dead: the writer's
+// final sweep may already be done, so the sender takes one message back
+// out (not necessarily its own; the accounting balances either way)
+// rather than strand bytes in the queue.
+func (c *client) unqueueOne() {
+	select {
+	case m := <-c.outCh:
+		n := int64(len(*m))
+		c.queuedBytes.Add(-n)
+		c.s.sm.queuedBytes.Add(-n)
+		putMsg(m)
+	default:
+	}
+}
+
+// send queues a marshaled message; it reports false (and evicts the
+// client) if the queue is at its hard cap. Ownership of msg passes to
+// the writer goroutine on success and back to the pool on failure.
+// Never blocks; safe from any goroutine.
 func (c *client) send(msg *[]byte) bool {
 	if c.dead.Load() {
 		putMsg(msg)
 		return false
 	}
+	n := int64(len(*msg))
 	select {
 	case c.outCh <- msg:
+		queued := c.queuedBytes.Add(n)
+		c.s.sm.queuedBytes.Add(n)
+		if c.dead.Load() {
+			// Lost a race with teardown; see unqueueOne.
+			c.unqueueOne()
+			return false
+		}
 		c.s.sm.sendQueueDepth.Observe(int64(len(c.outCh)))
+		if queued > c.flow.budget {
+			c.overBudget(queued)
+		}
 		return true
 	default:
+		// Hard cap: outQueueDepth messages queued and the writer is not
+		// draining. Instant eviction, no policy grace.
 		putMsg(msg)
 		c.s.sm.queueOverflows.Inc()
-		c.s.logf("aserver: client %v output queue overflow, dropping connection", c.conn.RemoteAddr())
-		// Mark the client dead and sever the transport; the reader exits
-		// on the closed conn and the loop reclaims state via unregister.
-		c.dead.Store(true)
-		c.conn.Close()
+		c.s.logf("aserver: client %v output queue overflow, evicting", c.conn.RemoteAddr())
+		c.evict(closeReasonEvict, proto.ErrOverload)
 		return false
+	}
+}
+
+// overBudget runs the slow-client policy on an over-budget enqueue. Out
+// of line so the common under-budget send never reads the clock.
+func (c *client) overBudget(queued int64) {
+	if c.flow.onQueue(queued, time.Now().UnixNano()) == flowEvict {
+		c.s.logf("aserver: client %v over send budget (%d bytes) past its allowance, evicting",
+			c.conn.RemoteAddr(), queued)
+		c.evict(closeReasonEvict, proto.ErrOverload)
 	}
 }
 

@@ -31,6 +31,7 @@ func (s *Server) dispatch(req *request) {
 // time to completion (the park-duration histogram covers that).
 func (s *Server) dispatchHot(req *request) *parked {
 	t0 := time.Now()
+	req.c.lastActive.Store(t0.UnixNano())
 	p := s.dispatchHotInner(req)
 	s.sm.dispatchFor(req.op).Observe(time.Since(t0).Nanoseconds())
 	return p
@@ -106,6 +107,7 @@ func (s *Server) dispatchHotInner(req *request) *parked {
 // the DIA dispatcher does. It runs in the server loop.
 func (s *Server) dispatchControl(req *request) {
 	t0 := time.Now()
+	req.c.lastActive.Store(t0.UnixNano())
 	s.dispatchControlInner(req)
 	s.sm.dispatchControl.Observe(time.Since(t0).Nanoseconds())
 }

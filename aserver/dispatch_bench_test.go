@@ -2,7 +2,9 @@ package aserver
 
 import (
 	"encoding/binary"
+	"io"
 	"net"
+	"runtime"
 	"testing"
 
 	"audiofile/internal/proto"
@@ -11,56 +13,50 @@ import (
 )
 
 // Dispatch benchmarks: the full server-side request path (decode, engine,
-// reply marshal, queue) without a transport, run inside the loop via Do.
-// These are the allocation gates for the pooled staging buffers — the
-// steady state must not allocate per request.
+// reply marshal, queue, writer) run inside the loop via Do. These are the
+// allocation gates for the pooled staging buffers — the steady state must
+// not allocate per request.
 
-// benchServer builds a one-codec server on a manual clock and a loop-side
-// client. Benchmarks drain the client's outgoing queue back into the
-// message pool inline (drainOut) so the queue can never overflow.
+// benchServer builds a one-codec server on a manual clock and a client
+// over a pipe, via the same newClient constructor the accept path uses,
+// with the real writer goroutine draining the queue (its far end is
+// discarded). Budgets are disabled so the eviction policy never trips
+// mid-benchmark.
 func benchServer(b *testing.B) (*Server, *client, *vdev.ManualClock, func()) {
 	b.Helper()
 	clk := vdev.NewManualClock(8000)
 	srv, err := New(Options{
-		Devices: []DeviceSpec{{Kind: "codec", Clock: clk}},
-		Logf:    func(string, ...any) {},
+		Devices:          []DeviceSpec{{Kind: "codec", Clock: clk}},
+		Logf:             func(string, ...any) {},
+		ClientQueueBytes: -1,
+		ServerQueueBytes: -1,
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
 	p1, p2 := net.Pipe()
-	c := &client{
-		s:          srv,
-		conn:       p1,
-		order:      binary.LittleEndian,
-		outCh:      make(chan *[]byte, outQueueDepth),
-		closed:     make(chan struct{}),
-		acs:        make(map[uint32]*ac),
-		eventMasks: make(map[int]uint32),
-	}
+	c := newClient(srv, p1, binary.LittleEndian)
+	go c.writer()
+	go io.Copy(io.Discard, p2) //nolint:errcheck
 	srv.Do(func() {
 		d := srv.Device(0)
 		c.acs[1] = &ac{id: 1, dev: d, devIndex: 0,
 			enc: d.Cfg.Enc, channels: d.Cfg.Channels}
 	})
 	cleanup := func() {
-		drainOut(c)
-		p1.Close()
+		close(c.closed) // writer flushes the tail, closes p1, settles accounting
 		p2.Close()
 		srv.Close()
 	}
 	return srv, c, clk, cleanup
 }
 
-// drainOut returns every queued outgoing message to the pool.
+// drainOut waits until the writer has flushed every queued message (the
+// byte accounting reaching zero means the buffers are back in the pool),
+// keeping the benchmark's steady state bounded.
 func drainOut(c *client) {
-	for {
-		select {
-		case m := <-c.outCh:
-			putMsg(m)
-		default:
-			return
-		}
+	for c.queuedBytes.Load() != 0 {
+		runtime.Gosched()
 	}
 }
 

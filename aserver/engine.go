@@ -275,7 +275,7 @@ func (e *engine) finishPark(c *client, p *parked, completed bool) {
 		p.playPooled = nil
 	}
 	if p.frame != nil {
-		putReqFrame(p.frame)
+		e.s.putFrame(p.frame)
 		p.frame = nil
 	}
 	close(p.done)

@@ -39,6 +39,16 @@ func (s *Server) loop() {
 	for {
 		select {
 		case c := <-s.regCh:
+			// MaxClients is a soft cap: the newcomer is admitted and the
+			// oldest-idle client is shed (its teardown completes on its
+			// own goroutines, so the registry can transiently exceed max).
+			if max := s.budget.maxClients; max > 0 {
+				s.clientMu.RLock()
+				n := len(s.clients)
+				s.clientMu.RUnlock()
+				for ; n >= max && s.shedOldestIdle(c); n-- {
+				}
+			}
 			s.clientMu.Lock()
 			s.clients[c] = struct{}{}
 			s.clientMu.Unlock()
@@ -88,6 +98,10 @@ func (s *Server) removeClient(c *client) {
 	}
 	c.removed = true
 	c.dead.Store(true)
+	// Classify the disconnect before counting it: every reader of the
+	// counters then sees disconnects <= evictions + sheds + drains +
+	// client closes, with equality once the server is drained.
+	s.sm.closeCounterFor(c.closeReason.Load()).Inc()
 	s.sm.disconnects.Inc()
 	s.sm.activeClients.Add(-1)
 	s.clientMu.Lock()

@@ -46,6 +46,20 @@ type serverMetrics struct {
 	clientErrors   *metrics.Counter
 	queueOverflows *metrics.Counter
 
+	// Disconnect classification (overload.go). Every disconnect
+	// increments exactly one of these, before disconnects itself, so
+	// disconnects == evictions + sheds + drains + clientCloses once the
+	// server is drained (<= in any live snapshot).
+	evictions    *metrics.Counter
+	sheds        *metrics.Counter
+	drains       *metrics.Counter
+	clientCloses *metrics.Counter
+
+	// queuedBytes is marshaled output queued across all clients;
+	// frameBytes is pooled request-frame bytes checked out by ingress.
+	queuedBytes *metrics.Gauge
+	frameBytes  *metrics.Gauge
+
 	dispatchPlay    *metrics.Histogram // ns, one observation per request
 	dispatchRecord  *metrics.Histogram
 	dispatchGetTime *metrics.Histogram
@@ -64,12 +78,33 @@ func newServerMetrics() *serverMetrics {
 		activeClients:   reg.Gauge("server.active_clients"),
 		clientErrors:    reg.Counter("server.client_errors"),
 		queueOverflows:  reg.Counter("server.queue_overflows"),
+		evictions:       reg.Counter("server.evictions"),
+		sheds:           reg.Counter("server.sheds"),
+		drains:          reg.Counter("server.drains"),
+		clientCloses:    reg.Counter("server.client_closes"),
+		queuedBytes:     reg.Gauge("wire.queued_bytes"),
+		frameBytes:      reg.Gauge("ingress.frame_bytes"),
 		dispatchPlay:    reg.Histogram("dispatch.play_ns"),
 		dispatchRecord:  reg.Histogram("dispatch.record_ns"),
 		dispatchGetTime: reg.Histogram("dispatch.gettime_ns"),
 		dispatchControl: reg.Histogram("dispatch.control_ns"),
 		writevBatch:     reg.Histogram("wire.writev_batch"),
 		sendQueueDepth:  reg.Histogram("wire.send_queue_depth"),
+	}
+}
+
+// closeCounterFor maps a recorded close reason to its disconnect-
+// classification counter.
+func (sm *serverMetrics) closeCounterFor(reason uint32) *metrics.Counter {
+	switch reason {
+	case closeReasonEvict:
+		return sm.evictions
+	case closeReasonShed:
+		return sm.sheds
+	case closeReasonDrain:
+		return sm.drains
+	default:
+		return sm.clientCloses
 	}
 }
 
@@ -137,6 +172,16 @@ type Snapshot struct {
 	ClientErrors   uint64 `json:"client_errors"`
 	QueueOverflows uint64 `json:"queue_overflows"`
 
+	// Disconnect classification: Disconnects <= Evictions + Sheds +
+	// Drains + ClientCloses in every snapshot, with equality after drain.
+	Evictions    uint64 `json:"evictions"`
+	Sheds        uint64 `json:"sheds"`
+	Drains       uint64 `json:"drains"`
+	ClientCloses uint64 `json:"client_closes"`
+
+	QueuedBytes        int64 `json:"queued_bytes"`
+	FrameBytesInFlight int64 `json:"frame_bytes_in_flight"`
+
 	DispatchPlayNs    metrics.HistogramSnapshot `json:"dispatch_play_ns"`
 	DispatchRecordNs  metrics.HistogramSnapshot `json:"dispatch_record_ns"`
 	DispatchGetTimeNs metrics.HistogramSnapshot `json:"dispatch_gettime_ns"`
@@ -196,19 +241,30 @@ type DeviceStats struct {
 // goroutine, including while the data plane is under load.
 func (s *Server) Snapshot() Snapshot {
 	sm := s.sm
+	// Disconnects is read before the per-reason counters: each of those
+	// is incremented before disconnects at the classification site, so
+	// every snapshot satisfies Disconnects <= Evictions + Sheds + Drains
+	// + ClientCloses.
+	disconnects := sm.disconnects.Load()
 	snap := Snapshot{
-		Requests:          s.requestCount.Load(),
-		Connects:          sm.connects.Load(),
-		Disconnects:       sm.disconnects.Load(),
-		ActiveClients:     sm.activeClients.Load(),
-		ClientErrors:      sm.clientErrors.Load(),
-		QueueOverflows:    sm.queueOverflows.Load(),
-		DispatchPlayNs:    sm.dispatchPlay.Snapshot(),
-		DispatchRecordNs:  sm.dispatchRecord.Snapshot(),
-		DispatchGetTimeNs: sm.dispatchGetTime.Snapshot(),
-		DispatchControlNs: sm.dispatchControl.Snapshot(),
-		WritevBatch:       sm.writevBatch.Snapshot(),
-		SendQueueDepth:    sm.sendQueueDepth.Snapshot(),
+		Requests:           s.requestCount.Load(),
+		Connects:           sm.connects.Load(),
+		Disconnects:        disconnects,
+		ActiveClients:      sm.activeClients.Load(),
+		ClientErrors:       sm.clientErrors.Load(),
+		QueueOverflows:     sm.queueOverflows.Load(),
+		Evictions:          sm.evictions.Load(),
+		Sheds:              sm.sheds.Load(),
+		Drains:             sm.drains.Load(),
+		ClientCloses:       sm.clientCloses.Load(),
+		QueuedBytes:        sm.queuedBytes.Load(),
+		FrameBytesInFlight: sm.frameBytes.Load(),
+		DispatchPlayNs:     sm.dispatchPlay.Snapshot(),
+		DispatchRecordNs:   sm.dispatchRecord.Snapshot(),
+		DispatchGetTimeNs:  sm.dispatchGetTime.Snapshot(),
+		DispatchControlNs:  sm.dispatchControl.Snapshot(),
+		WritevBatch:        sm.writevBatch.Snapshot(),
+		SendQueueDepth:     sm.sendQueueDepth.Snapshot(),
 	}
 	for _, e := range s.engines {
 		d := e.root

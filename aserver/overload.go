@@ -1,0 +1,315 @@
+package aserver
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"audiofile/internal/proto"
+)
+
+// Overload protection and graceful degradation: the policies that keep
+// the real-time data plane healthy no matter what clients do. Three
+// layers (see DESIGN.md, "Overload & shutdown"):
+//
+//   - Per-connection: every client's outgoing queue is bounded in bytes
+//     (not just messages). A consumer that stays over its byte budget —
+//     or misses a write deadline — for longer than the audio it is owed
+//     is evicted with a typed protocol error (Overload). Senders never
+//     block: the engine and the other clients' writers are unaffected.
+//   - Server-wide: budgets on client count, total queued bytes, and
+//     pooled request-frame bytes in flight. Exceeding one sheds the
+//     oldest-idle (or largest-queue) client rather than degrading all.
+//   - Shutdown: Drain stops accepting, lets play rings flush to the
+//     device tail and parks resolve, then disconnects the remaining
+//     clients with a typed Drain error and closes.
+//
+// Every disconnect is classified exactly once, so the counters obey
+//
+//	disconnects == evictions + sheds + drains + client closes
+//
+// after drain (<= at any instant; see closeCounterFor for the ordering
+// that makes the inequality hold in every live snapshot).
+
+// Close reasons recorded at eviction time and classified into counters
+// by removeClient. Zero (the default) means the client went away on its
+// own: transport EOF, protocol error, or KillClient.
+const (
+	closeReasonClient uint32 = iota
+	closeReasonEvict         // over send budget or missed write deadline
+	closeReasonShed          // sacrificed to a server-wide budget
+	closeReasonDrain         // graceful shutdown
+)
+
+// flowVerdict is the eviction policy's answer for one observation.
+type flowVerdict uint8
+
+const (
+	flowOK    flowVerdict = iota // under budget
+	flowOver                     // over budget, inside the allowance
+	flowEvict                    // over budget past the allowance
+)
+
+// evictPolicy is the per-client slow-consumer state machine. A client
+// may exceed its byte budget transiently (a burst the writer is still
+// flushing); it is evicted only after staying over budget for longer
+// than its allowance: a fixed grace period plus, when rate is set, the
+// time the queued audio itself is worth — "the audio it is owed".
+//
+// The state is one atomic (the instant the client went over budget), so
+// both the send hot path and the periodic sweep can run the policy
+// without a lock.
+type evictPolicy struct {
+	budget int64         // queued-bytes budget
+	grace  time.Duration // fixed slack once over budget
+	rate   int64         // consumer bytes/sec the queue is owed; 0 disables
+
+	overSince atomic.Int64 // unix nanos when the budget was crossed; 0 = under
+}
+
+// allowance is how long a client may stay over budget with `queued`
+// bytes outstanding.
+func (p *evictPolicy) allowance(queued int64) time.Duration {
+	d := p.grace
+	if p.rate > 0 {
+		d += time.Duration(queued * int64(time.Second) / p.rate)
+	}
+	return d
+}
+
+// onQueue observes the queued-byte level at time now (unix nanos) and
+// returns the verdict. Called on over-budget enqueues and by the sweep.
+func (p *evictPolicy) onQueue(queued, now int64) flowVerdict {
+	if queued <= p.budget {
+		p.overSince.Store(0)
+		return flowOK
+	}
+	since := p.overSince.Load()
+	if since == 0 {
+		// First observation over budget starts the clock. CAS so racing
+		// observers agree on one start time.
+		p.overSince.CompareAndSwap(0, now)
+		return flowOver
+	}
+	if time.Duration(now-since) > p.allowance(queued) {
+		return flowEvict
+	}
+	return flowOver
+}
+
+// onDrain observes the queued-byte level after the writer flushed. A
+// client back under budget has recovered: the clock resets, and a later
+// excursion starts a fresh allowance.
+func (p *evictPolicy) onDrain(queued int64) {
+	if queued <= p.budget && p.overSince.Load() != 0 {
+		p.overSince.Store(0)
+	}
+}
+
+// writeAllowance returns how long an over-budget client's next flush
+// may take before it counts as a missed deadline: the remainder of the
+// policy allowance, floored so a deadline armed late still permits a
+// write. Reports false while under budget (no deadline armed — the
+// common case stays free of timer churn).
+func (p *evictPolicy) writeAllowance(queued, now int64) (time.Duration, bool) {
+	since := p.overSince.Load()
+	if since == 0 {
+		return 0, false
+	}
+	rem := p.allowance(queued) - time.Duration(now-since)
+	if rem < 5*time.Millisecond {
+		rem = 5 * time.Millisecond
+	}
+	return rem, true
+}
+
+// budgets is the server-wide resource policy, resolved from Options.
+type budgets struct {
+	maxClients   int           // registered clients before oldest-idle shedding; 0 = unlimited
+	clientQueue  int64         // per-client queued-bytes budget
+	serverQueue  int64         // total queued bytes across clients
+	frameCeiling int64         // pooled request-frame bytes in flight
+	evictGrace   time.Duration // fixed over-budget slack
+	evictRate    int64         // bytes/sec for the owed-audio allowance term
+}
+
+// initOverload resolves the budget options and seeds the periodic
+// overload sweep. Called from New before the loop starts.
+func (s *Server) initOverload() {
+	b := &s.budget
+	b.maxClients = s.opts.MaxClients
+	b.clientQueue = int64(s.opts.ClientQueueBytes)
+	if b.clientQueue == 0 {
+		b.clientQueue = 256 << 10
+	}
+	if b.clientQueue < 0 {
+		b.clientQueue = math.MaxInt64
+	}
+	b.evictGrace = s.opts.EvictGrace
+	if b.evictGrace == 0 {
+		b.evictGrace = 250 * time.Millisecond
+	}
+	b.evictRate = int64(s.opts.EvictRateBytesPerSec)
+	b.serverQueue = s.opts.ServerQueueBytes
+	if b.serverQueue == 0 {
+		if b.clientQueue > math.MaxInt64/64 {
+			b.serverQueue = math.MaxInt64
+		} else {
+			b.serverQueue = 64 * b.clientQueue
+		}
+	}
+	if b.serverQueue < 0 {
+		b.serverQueue = math.MaxInt64
+	}
+	b.frameCeiling = s.opts.FrameBytesCeiling
+	if b.frameCeiling == 0 {
+		b.frameCeiling = 16 << 20
+	}
+	if b.frameCeiling < 0 {
+		b.frameCeiling = math.MaxInt64
+	}
+	// The sweep is the time-based half of the eviction policy: send()
+	// catches a client crossing its budget, the sweep catches one that
+	// sits over budget while nothing new is being queued (its writer
+	// wedged behind a transport that stopped draining). Half the grace
+	// period bounds how far past its allowance a silent client can live.
+	interval := b.evictGrace / 2
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	var sweep func()
+	sweep = func() {
+		s.sweepOverload(time.Now())
+		s.tasks.add(time.Now().Add(interval), sweep)
+	}
+	s.tasks.add(time.Now().Add(interval), sweep)
+}
+
+// sweepOverload runs the eviction policy over every live client and
+// enforces the server-wide budgets. Runs on the control plane's task
+// queue.
+func (s *Server) sweepOverload(now time.Time) {
+	nanos := now.UnixNano()
+	var largest *client
+	var largestBytes int64
+	var total int64
+	s.clientMu.RLock()
+	for c := range s.clients {
+		if c.dead.Load() {
+			continue
+		}
+		q := c.queuedBytes.Load()
+		total += q
+		if q > largestBytes {
+			largest, largestBytes = c, q
+		}
+		if q > c.flow.budget && c.flow.onQueue(q, nanos) == flowEvict {
+			s.logf("aserver: client %v over send budget (%d bytes) past its allowance, evicting",
+				c.conn.RemoteAddr(), q)
+			c.evict(closeReasonEvict, proto.ErrOverload)
+		}
+	}
+	s.clientMu.RUnlock()
+	// Server-wide queued bytes: shed the largest queue rather than let
+	// one burst starve every writer of pooled buffers.
+	if total > s.budget.serverQueue && largest != nil && !largest.dead.Load() {
+		s.logf("aserver: %d bytes queued server-wide (budget %d), shedding client %v (%d bytes)",
+			total, s.budget.serverQueue, largest.conn.RemoteAddr(), largestBytes)
+		largest.evict(closeReasonShed, proto.ErrOverload)
+	}
+	// Pooled ingress frames in flight: a parked-request pileup holding
+	// frames past the ceiling sheds the oldest-idle client.
+	if s.sm.frameBytes.Load() > s.budget.frameCeiling {
+		s.shedOldestIdle(nil)
+	}
+}
+
+// shedOldestIdle evicts the live client with the oldest last-dispatched
+// request (excluding exclude), reporting whether a candidate was found.
+func (s *Server) shedOldestIdle(exclude *client) bool {
+	var victim *client
+	var oldest int64 = math.MaxInt64
+	s.clientMu.RLock()
+	for c := range s.clients {
+		if c == exclude || c.dead.Load() {
+			continue
+		}
+		if t := c.lastActive.Load(); t < oldest {
+			victim, oldest = c, t
+		}
+	}
+	s.clientMu.RUnlock()
+	if victim == nil {
+		return false
+	}
+	s.logf("aserver: server over budget, shedding oldest-idle client %v", victim.conn.RemoteAddr())
+	victim.evict(closeReasonShed, proto.ErrOverload)
+	return true
+}
+
+// getFrame / putFrame wrap the request-frame pool with the in-flight
+// byte gauge, so the pooled-frame ceiling and the soak test's memory
+// assertion see every frame the ingress path has checked out. One
+// atomic add on top of the pool op keeps the hot path allocation-free.
+func (s *Server) getFrame(n int) *[]byte {
+	s.sm.frameBytes.Add(int64(n))
+	return getReqFrame(n)
+}
+
+func (s *Server) putFrame(p *[]byte) {
+	s.sm.frameBytes.Add(-int64(len(*p)))
+	putReqFrame(p)
+}
+
+// Drain performs a graceful shutdown: stop accepting new connections,
+// let the data plane run until every play ring has been consumed to the
+// device tail and every park has resolved (or timeout passes), then
+// disconnect the remaining clients with a typed Drain error and Close.
+// Calling Drain again — or after Close — just closes.
+func (s *Server) Drain(timeout time.Duration) {
+	if !s.draining.CompareAndSwap(false, true) {
+		s.Close()
+		return
+	}
+	s.mu.Lock()
+	ls := s.listeners
+	s.listeners = nil
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return
+	}
+	for _, l := range ls {
+		l.Close()
+	}
+	deadline := time.Now().Add(timeout)
+	for !s.drained() && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	s.clientMu.RLock()
+	cs := make([]*client, 0, len(s.clients))
+	for c := range s.clients {
+		cs = append(cs, c)
+	}
+	s.clientMu.RUnlock()
+	for _, c := range cs {
+		c.evict(closeReasonDrain, proto.ErrDrain)
+	}
+	s.Close()
+}
+
+// drained reports whether every engine's play ring has been consumed to
+// the device tail and no parks are outstanding. Parks that cannot
+// resolve inside the drain window are discarded deterministically by the
+// engines' shutdown path in Close.
+func (s *Server) drained() bool {
+	for _, e := range s.engines {
+		e.mu.Lock()
+		ok := len(e.parks) == 0 && e.root.PendingPlayFrames() == 0
+		e.mu.Unlock()
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

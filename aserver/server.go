@@ -27,6 +27,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"audiofile/internal/core"
 	"audiofile/internal/lineserver"
@@ -84,6 +85,31 @@ type Options struct {
 	TCPDelay bool
 	// Logf receives server diagnostics; nil uses the standard logger.
 	Logf func(format string, args ...any)
+
+	// Overload budgets (see overload.go and DESIGN.md, "Overload &
+	// shutdown"). Zero selects the default; negative disables the bound.
+
+	// MaxClients caps registered clients; registering past it sheds the
+	// oldest-idle client. 0 = unlimited.
+	MaxClients int
+	// ClientQueueBytes is the per-client outgoing queue byte budget
+	// (default 256 KiB). A client over budget for longer than its
+	// allowance is evicted with a typed Overload error.
+	ClientQueueBytes int
+	// EvictGrace is the fixed time a client may stay over budget
+	// (default 250ms).
+	EvictGrace time.Duration
+	// EvictRateBytesPerSec adds "the audio the client is owed" to the
+	// allowance: queued bytes at this consumption rate. 0 disables the
+	// term (grace only).
+	EvictRateBytesPerSec int
+	// ServerQueueBytes bounds total queued bytes across all clients
+	// (default 64 × ClientQueueBytes); exceeding it sheds the largest
+	// queue.
+	ServerQueueBytes int64
+	// FrameBytesCeiling bounds pooled request-frame bytes in flight
+	// (default 16 MiB); exceeding it sheds the oldest-idle client.
+	FrameBytesCeiling int64
 }
 
 // DefaultDevices returns the paper's Alofi-like device complement: a
@@ -138,6 +164,11 @@ type Server struct {
 	// and the like); per-device periodic work lives on the engines.
 	tasks *taskQueue
 
+	// budget is the resolved overload policy (overload.go); immutable
+	// after New. draining flips once, when Drain begins.
+	budget   budgets
+	draining atomic.Bool
+
 	mu        sync.Mutex
 	listeners []net.Listener
 	closers   []func()
@@ -188,6 +219,7 @@ func New(opts Options) (*Server, error) {
 		{Family: proto.FamilyInternet, Addr: net.IPv4(127, 0, 0, 1).To4()},
 		{Family: proto.FamilyInternet6, Addr: net.IPv6loopback},
 	}
+	s.initOverload()
 	if err := s.buildDevices(); err != nil {
 		return nil, err
 	}

@@ -26,6 +26,8 @@ import (
 	"path/filepath"
 	"runtime/pprof"
 	"strings"
+	"syscall"
+	"time"
 
 	"audiofile/aserver"
 	"audiofile/internal/cmdutil"
@@ -41,6 +43,9 @@ func main() {
 	nodelay := flag.Bool("nodelay", true, "set TCP_NODELAY on accepted TCP connections (disable to let Nagle coalesce)")
 	verbose := flag.Bool("verbose", false, "log server diagnostics")
 	statsAddr := flag.String("stats", "", "serve metrics (/stats JSON, /debug/vars expvar) on this address (e.g. localhost:7800); off by default")
+	maxClients := flag.Int("max-clients", 0, "maximum simultaneous clients; the oldest idle client is shed to admit a new one (0 = unlimited)")
+	clientQueueBytes := flag.Int("client-queue-bytes", 0, "per-client send-queue byte budget before slow-client eviction (0 = default 256KiB, negative = unlimited)")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "on SIGTERM/SIGINT, wait up to this long for play buffers to drain before closing")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060); off by default")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file until shutdown")
 	flag.Parse()
@@ -78,11 +83,13 @@ func main() {
 		}
 	}
 	srv, err := aserver.New(aserver.Options{
-		Vendor:        "audiofile-go afd",
-		Devices:       specs,
-		AccessControl: *ac,
-		TCPDelay:      !*nodelay,
-		Logf:          logf,
+		Vendor:           "audiofile-go afd",
+		Devices:          specs,
+		AccessControl:    *ac,
+		TCPDelay:         !*nodelay,
+		Logf:             logf,
+		MaxClients:       *maxClients,
+		ClientQueueBytes: *clientQueueBytes,
 	})
 	if err != nil {
 		cmdutil.Die("afd: %v", err)
@@ -117,12 +124,24 @@ func main() {
 	fmt.Fprintln(os.Stderr)
 
 	sigCh := make(chan os.Signal, 1)
-	signal.Notify(sigCh, os.Interrupt)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 
 	if *console {
 		go runConsole(srv)
 	}
 	<-sigCh
+	// Graceful drain: stop accepting, let the play rings run out to the
+	// device tail, notify remaining clients with a typed Drain error, then
+	// close. A second signal during the drain aborts immediately.
+	done := make(chan struct{})
+	go func() {
+		srv.Drain(*drainTimeout)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-sigCh:
+	}
 	os.Remove(sockPath) //nolint:errcheck
 }
 

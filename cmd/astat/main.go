@@ -112,6 +112,8 @@ func printDelta(prev, cur aserver.Snapshot, dt time.Duration) {
 func printAbsolute(s aserver.Snapshot) {
 	fmt.Printf("requests %d  connects %d  disconnects %d  active %d  errors %d  overflows %d\n",
 		s.Requests, s.Connects, s.Disconnects, s.ActiveClients, s.ClientErrors, s.QueueOverflows)
+	fmt.Printf("evictions %d  sheds %d  drains %d  client-closes %d  queued-bytes %d  frame-bytes %d\n",
+		s.Evictions, s.Sheds, s.Drains, s.ClientCloses, s.QueuedBytes, s.FrameBytesInFlight)
 	fmt.Printf("dispatch p99: play %s  record %s  gettime %s  control %s  writev mean %.1f\n",
 		ns(s.DispatchPlayNs.Quantile(0.99)), ns(s.DispatchRecordNs.Quantile(0.99)),
 		ns(s.DispatchGetTimeNs.Quantile(0.99)), ns(s.DispatchControlNs.Quantile(0.99)),
@@ -132,6 +134,13 @@ func printAbsolute(s aserver.Snapshot) {
 // means the server's instrumentation is broken, which is worth shouting
 // about in a stats tool.
 func conservation(s aserver.Snapshot) string {
+	// Every disconnect is accounted to exactly one close reason. The check
+	// is one-sided because counters are read without a global lock: a
+	// reason may be counted an instant before the disconnect it explains.
+	if sum := s.Evictions + s.Sheds + s.Drains + s.ClientCloses; s.Disconnects > sum {
+		return fmt.Sprintf("disconnects %d > evictions %d + sheds %d + drains %d + client-closes %d",
+			s.Disconnects, s.Evictions, s.Sheds, s.Drains, s.ClientCloses)
+	}
 	for _, d := range s.Devices {
 		if d.FramesAccepted != d.FramesBuffered+d.FramesDiscarded {
 			return fmt.Sprintf("device %d: accepted %d != buffered %d + discarded %d",

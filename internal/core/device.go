@@ -209,6 +209,20 @@ func (d *Device) Backend() Backend { return d.backend }
 // Now returns the server's view of device time as of the last refresh.
 func (d *Device) Now() atime.ATime { return d.root().now }
 
+// PendingPlayFrames reports how many play frames past the device's
+// current time clients have scheduled: the distance from now to the last
+// valid playback sample written. Zero means the play ring has been
+// consumed to the device tail — nothing buffered remains unheard, the
+// condition a graceful drain waits for.
+func (d *Device) PendingPlayFrames() int {
+	r := d.root()
+	n := int(atime.Sub(r.timeLastValid, r.now))
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
 // Time refreshes the time register from the hardware and returns it
 // (the paper's CODEC_UPDATE_TIME).
 func (d *Device) Time() atime.ATime {

@@ -59,6 +59,15 @@ func FuzzReadMessageDirect(f *testing.F) {
 	over := append([]byte(nil), whole...)
 	binary.LittleEndian.PutUint32(over[4:8], 1<<30) // absurd declared length
 	f.Add(over, uint16(1), 8)
+	// Typed goodbye errors (Overload eviction, Drain shutdown) arriving in
+	// the middle of a direct read: the reader must route them out as Error
+	// messages, never confuse them with the awaited reply.
+	w.Reset()
+	(&ErrorMsg{Code: ErrOverload, Seq: 1, BadValue: 1 << 20}).Encode(w)
+	f.Add(append([]byte(nil), w.Buf...), uint16(1), 8)
+	w.Reset()
+	(&ErrorMsg{Code: ErrDrain, Seq: 3}).Encode(w)
+	f.Add(append([]byte(nil), w.Buf...), uint16(1), 0)
 	f.Fuzz(func(t *testing.T, data []byte, seq uint16, dstLen int) {
 		if dstLen < 0 || dstLen > 1<<16 {
 			return
@@ -72,6 +81,37 @@ func FuzzReadMessageDirect(f *testing.F) {
 		if m.Reply != nil && len(m.Reply.Extra) > 0 && m.Reply.Seq == seq && dstLen > 0 {
 			if len(m.Reply.Extra) > dstLen {
 				t.Fatalf("direct read overran dst: %d > %d", len(m.Reply.Extra), dstLen)
+			}
+		}
+	})
+}
+
+// FuzzErrorReply round-trips the fixed-size error message through its
+// encoder and the message reader: every field must survive intact, and
+// the wire image must be exactly one error-message frame. The typed
+// overload/drain goodbye errors ride this format, so corrupting it
+// would strand evicted clients without a reason.
+func FuzzErrorReply(f *testing.F) {
+	f.Add(uint8(ErrOverload), uint16(7), uint32(300_000), uint8(OpGetTime))
+	f.Add(uint8(ErrDrain), uint16(0), uint32(0), uint8(0))
+	f.Add(uint8(ErrValue), uint16(65535), uint32(0xFFFFFFFF), uint8(255))
+	f.Fuzz(func(t *testing.T, code uint8, seq uint16, badValue uint32, major uint8) {
+		in := ErrorMsg{Code: code, Seq: seq, BadValue: badValue, MajorOp: major}
+		for _, order := range []binary.ByteOrder{binary.LittleEndian, binary.BigEndian} {
+			w := &Writer{Order: order}
+			in.Encode(w)
+			if len(w.Buf)%4 != 0 {
+				t.Fatalf("error message not 32-bit aligned: %d bytes", len(w.Buf))
+			}
+			msg, err := ReadMessage(bytes.NewReader(w.Buf), order)
+			if err != nil {
+				t.Fatalf("round trip (%v): %v", order, err)
+			}
+			if msg.Error == nil {
+				t.Fatal("round trip produced a non-error message")
+			}
+			if got := *msg.Error; got != in {
+				t.Fatalf("round trip (%v): got %+v, want %+v", order, got, in)
 			}
 		}
 	})

@@ -136,6 +136,8 @@ const (
 	ErrMatch          = 8  // parameter mismatch (e.g. telephony op on non-phone)
 	ErrAlloc          = 9  // server out of resources
 	ErrImplementation = 10 // unimplemented request
+	ErrOverload       = 11 // client evicted: send queue over budget or write deadline missed
+	ErrDrain          = 12 // server draining: graceful shutdown in progress
 )
 
 // ErrorName maps an error code to a descriptive string (AFGetErrorText).
@@ -150,6 +152,8 @@ var ErrorName = map[uint8]string{
 	ErrMatch:          "BadMatch: parameter mismatch",
 	ErrAlloc:          "BadAlloc: insufficient resources",
 	ErrImplementation: "BadImplementation: server does not implement request",
+	ErrOverload:       "Overload: client evicted, send queue over budget",
+	ErrDrain:          "Drain: server shutting down",
 }
 
 // Server-to-client message type bytes.
