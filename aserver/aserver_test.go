@@ -12,9 +12,9 @@ func TestTaskQueueOrdering(t *testing.T) {
 	q := newTaskQueue()
 	var order []int
 	base := time.Now()
-	q.add(base.Add(30*time.Millisecond), func() { order = append(order, 3) })
-	q.add(base.Add(10*time.Millisecond), func() { order = append(order, 1) })
-	q.add(base.Add(20*time.Millisecond), func() { order = append(order, 2) })
+	q.add(base.Add(30*time.Millisecond), func(time.Time) { order = append(order, 3) })
+	q.add(base.Add(10*time.Millisecond), func(time.Time) { order = append(order, 1) })
+	q.add(base.Add(20*time.Millisecond), func(time.Time) { order = append(order, 2) })
 
 	when, ok := q.next()
 	if !ok || !when.Equal(base.Add(10*time.Millisecond)) {
@@ -38,8 +38,8 @@ func TestTaskQueueReschedulesSelf(t *testing.T) {
 	q := newTaskQueue()
 	count := 0
 	base := time.Now()
-	var tick func()
-	tick = func() {
+	var tick func(time.Time)
+	tick = func(time.Time) {
 		count++
 		if count < 3 {
 			q.add(base.Add(time.Duration(count)*time.Millisecond), tick)

@@ -229,7 +229,7 @@ func (s *Server) dispatchControlInner(req *request) {
 		dev := q.Device
 		// The re-hook rides on the loop's own task timer; the engine is
 		// only entered to deliver the event.
-		s.tasks.addAfter(dur, func() {
+		s.tasks.addAfter(time.Now(), dur, func(time.Time) {
 			if l := s.lineFor(dev); l != nil {
 				l.SetHook(true)
 				s.updateEngine(dev)
@@ -604,7 +604,7 @@ func handleRecord(c *client, a *ac, e *engine, req *request, q proto.RecordSampl
 		end := atime.Add(atime.ATime(q.Time), want)
 		if deficit := int(atime.Sub(end, res.Now)); deficit > 0 {
 			wake := time.Duration(deficit)*time.Second/time.Duration(a.dev.Cfg.Rate) + time.Millisecond
-			e.addTaskLocked(wake, func() {
+			e.addTaskLocked(wake, func(time.Time) {
 				if e.parks[c] == p {
 					e.retryParked(c, p)
 				}
@@ -631,7 +631,7 @@ func handleRecordADPCM(c *client, a *ac, e *engine, req *request, q proto.Record
 		end := atime.Add(atime.ATime(q.Time), wantFrames)
 		if deficit := int(atime.Sub(end, res.Now)); deficit > 0 {
 			wake := time.Duration(deficit)*time.Second/time.Duration(a.dev.Cfg.Rate) + time.Millisecond
-			e.addTaskLocked(wake, func() {
+			e.addTaskLocked(wake, func(time.Time) {
 				if e.parks[c] == p {
 					e.retryParked(c, p)
 				}

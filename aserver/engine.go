@@ -96,11 +96,12 @@ func newEngine(s *Server, idx int, root *core.Device, line *phonesim.Line) *engi
 		stopped:  make(chan struct{}),
 	}
 	// Seed the periodic update (§7.2): every interval, or half the
-	// hardware buffer duration if that is shorter.
-	var tick func()
-	tick = func() {
+	// hardware buffer duration if that is shorter. The re-arm uses the
+	// tick's own now — one clock read per tick, passed through.
+	var tick func(now time.Time)
+	tick = func(now time.Time) {
 		e.updateLocked()
-		e.tasks.add(time.Now().Add(e.interval), tick)
+		e.tasks.add(now.Add(e.interval), tick)
 	}
 	e.tasks.add(time.Now().Add(e.interval), tick)
 	return e
@@ -116,11 +117,12 @@ func (e *engine) run() {
 	}
 	defer timer.Stop()
 	for {
+		now := time.Now()
 		acq := e.m.lockTimed(&e.mu)
-		e.tasks.runDue(time.Now())
+		e.tasks.runDue(now)
 		d := time.Hour
 		if when, ok := e.tasks.next(); ok {
-			d = time.Until(when)
+			d = when.Sub(now)
 			if d < 0 {
 				d = 0
 			}
@@ -147,7 +149,7 @@ func (e *engine) run() {
 // addTaskLocked schedules fn on the engine's timer (caller holds e.mu)
 // and pokes the engine goroutine in case the new deadline is earlier
 // than the one its timer is armed for.
-func (e *engine) addTaskLocked(d time.Duration, fn func()) {
+func (e *engine) addTaskLocked(d time.Duration, fn func(now time.Time)) {
 	e.tasks.add(time.Now().Add(d), fn)
 	select {
 	case e.wake <- struct{}{}:
@@ -333,7 +335,7 @@ func (e *engine) retryParked(c *client, p *parked) {
 			putMsg(m)
 			missing := want - res.Avail
 			wakeIn := time.Duration(missing)*time.Second/time.Duration(a.dev.Cfg.Rate) + time.Millisecond
-			e.addTaskLocked(wakeIn, func() {
+			e.addTaskLocked(wakeIn, func(time.Time) {
 				if e.parks[c] == p {
 					e.retryParked(c, p)
 				}

@@ -177,10 +177,10 @@ func (s *Server) initOverload() {
 	if interval < 5*time.Millisecond {
 		interval = 5 * time.Millisecond
 	}
-	var sweep func()
-	sweep = func() {
-		s.sweepOverload(time.Now())
-		s.tasks.add(time.Now().Add(interval), sweep)
+	var sweep func(now time.Time)
+	sweep = func(now time.Time) {
+		s.sweepOverload(now)
+		s.tasks.add(now.Add(interval), sweep)
 	}
 	s.tasks.add(time.Now().Add(interval), sweep)
 }

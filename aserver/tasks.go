@@ -8,20 +8,33 @@ import (
 // The task mechanism (§7.3.1): procedures scheduled for execution at
 // future times, outside the main flow of control. The server's update
 // mechanism and the dispatcher's resumption of partially completed
-// (blocked) client requests both ride on it. Tasks run only inside the
-// server loop.
+// (blocked) client requests both ride on it. Engine task queues are run
+// by the update scheduler's workers under the engine lock; the control
+// plane's queue is run by the server loop.
+//
+// A task function receives the time its tick was driven by, so
+// re-arming tasks (the periodic updates, the overload sweep) schedule
+// their next run relative to that instant instead of calling time.Now()
+// again: one clock read per tick, and a tick that fires late does not
+// silently stretch the period.
 
 type task struct {
 	when time.Time
-	fn   func()
+	seq  uint64 // insertion order; breaks same-deadline ties FIFO
+	fn   func(now time.Time)
 }
 
 type taskHeap []task
 
-func (h taskHeap) Len() int           { return len(h) }
-func (h taskHeap) Less(i, j int) bool { return h[i].when.Before(h[j].when) }
-func (h taskHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *taskHeap) Push(x any)        { *h = append(*h, x.(task)) }
+func (h taskHeap) Len() int { return len(h) }
+func (h taskHeap) Less(i, j int) bool {
+	if !h[i].when.Equal(h[j].when) {
+		return h[i].when.Before(h[j].when)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h taskHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *taskHeap) Push(x any)   { *h = append(*h, x.(task)) }
 func (h *taskHeap) Pop() any {
 	old := *h
 	n := len(old)
@@ -31,19 +44,23 @@ func (h *taskHeap) Pop() any {
 }
 
 type taskQueue struct {
-	h taskHeap
+	h   taskHeap
+	seq uint64
 }
 
 func newTaskQueue() *taskQueue { return &taskQueue{} }
 
-// add schedules fn to run at (or soon after) when.
-func (q *taskQueue) add(when time.Time, fn func()) {
-	heap.Push(&q.h, task{when: when, fn: fn})
+// add schedules fn to run at (or soon after) when. Tasks with equal
+// deadlines run in the order they were added.
+func (q *taskQueue) add(when time.Time, fn func(now time.Time)) {
+	q.seq++
+	heap.Push(&q.h, task{when: when, seq: q.seq, fn: fn})
 }
 
-// addAfter schedules fn after a delay, the AddTask(proc, task, ms) idiom.
-func (q *taskQueue) addAfter(d time.Duration, fn func()) {
-	q.add(time.Now().Add(d), fn)
+// addAfter schedules fn after a delay from now, the AddTask(proc, task,
+// ms) idiom. now is the caller's already-read clock, not re-sampled.
+func (q *taskQueue) addAfter(now time.Time, d time.Duration, fn func(now time.Time)) {
+	q.add(now.Add(d), fn)
 }
 
 // next returns the earliest deadline, or false if the queue is empty.
@@ -55,12 +72,13 @@ func (q *taskQueue) next() (time.Time, bool) {
 }
 
 // runDue executes every task due at now and returns how many ran. Tasks
-// may reschedule themselves (the periodic update tasks do).
+// may reschedule themselves (the periodic update tasks do); each fn
+// receives now so re-arms are computed from the tick that ran them.
 func (q *taskQueue) runDue(now time.Time) int {
 	n := 0
 	for len(q.h) > 0 && !q.h[0].when.After(now) {
 		t := heap.Pop(&q.h).(task)
-		t.fn()
+		t.fn(now)
 		n++
 	}
 	return n
