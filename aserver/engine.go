@@ -2,6 +2,7 @@ package aserver
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"audiofile/internal/atime"
@@ -9,6 +10,7 @@ import (
 	"audiofile/internal/phonesim"
 	"audiofile/internal/proto"
 	"audiofile/internal/sampleconv"
+	"audiofile/internal/timerwheel"
 )
 
 // engine is the data plane for one root device: it owns the device's
@@ -21,14 +23,18 @@ import (
 // (PlaySamples, RecordSamples, GetTime) are dispatched inline by the
 // connection's reader goroutine under this lock; the control plane (the
 // Server.loop goroutine) takes the same lock for the rare control
-// operations that touch device state. The engine's own goroutine runs
-// the task timer: periodic updates and precise parked-request wake-ups.
+// operations that touch device state. The engine's task timer — periodic
+// updates and precise parked-request wake-ups — is a passive timer on
+// the server's sharded timer wheel; the update scheduler's worker pool
+// runs due task passes (see scheduler.go). An engine owns no goroutine.
 //
 // Lock ordering: an engine may lock a peer engine only in ascending
 // engine order (pass-through pumping runs on the lower-indexed engine
 // and reaches across to the higher); the control plane follows the same
-// ascending rule when it needs two engines; Server.clientMu is the
-// innermost lock (event fan-out).
+// ascending rule when it needs two engines. A wheel shard lock may be
+// taken under e.mu (timer.Arm), never the reverse: wheel fire callbacks
+// run with no shard lock held. Server.clientMu is the innermost lock
+// (event fan-out).
 type engine struct {
 	s    *Server
 	idx  int // position in Server.engines, ascending root device index
@@ -39,12 +45,16 @@ type engine struct {
 	interval time.Duration // periodic update cadence
 
 	mu      sync.Mutex
-	tasks   *taskQueue          // guarded by mu; run by the engine goroutine
+	tasks   *taskQueue          // guarded by mu; run by the scheduler's workers
 	parks   map[*client]*parked // blocked requests on this device, by client
 	patches map[int]*patch      // pass-through patches pumped here, by src device index
 
-	wake    chan struct{} // pokes the engine goroutine to re-arm its timer
-	stopped chan struct{}
+	// timer is this engine's registration with the sharded timer wheel,
+	// armed for the task queue's earliest deadline (under mu). queued
+	// dedupes wheel fires: true while the engine sits in the scheduler's
+	// work queue awaiting a worker pass.
+	timer  *timerwheel.Timer
+	queued atomic.Bool
 }
 
 // parked captures a blocked request being resumed by the engine's task
@@ -92,8 +102,6 @@ func newEngine(s *Server, idx int, root *core.Device, line *phonesim.Line) *engi
 		tasks:    newTaskQueue(),
 		parks:    make(map[*client]*parked),
 		patches:  make(map[int]*patch),
-		wake:     make(chan struct{}, 1),
-		stopped:  make(chan struct{}),
 	}
 	// Seed the periodic update (§7.2): every interval, or half the
 	// hardware buffer duration if that is shorter. The re-arm uses the
@@ -107,53 +115,17 @@ func newEngine(s *Server, idx int, root *core.Device, line *phonesim.Line) *engi
 	return e
 }
 
-// run is the engine goroutine: it fires the engine's task queue. Task
-// functions run with e.mu held.
-func (e *engine) run() {
-	defer close(e.stopped)
-	timer := time.NewTimer(time.Hour)
-	if !timer.Stop() {
-		<-timer.C
-	}
-	defer timer.Stop()
-	for {
-		now := time.Now()
-		acq := e.m.lockTimed(&e.mu)
-		e.tasks.runDue(now)
-		d := time.Hour
-		if when, ok := e.tasks.next(); ok {
-			d = when.Sub(now)
-			if d < 0 {
-				d = 0
-			}
-		}
-		e.m.unlockTimed(&e.mu, acq)
-		timer.Reset(d)
-		select {
-		case <-timer.C:
-		case <-e.wake:
-			if !timer.Stop() {
-				<-timer.C
-			}
-		case <-e.s.done:
-			e.mu.Lock()
-			for c, p := range e.parks {
-				e.finishPark(c, p, false)
-			}
-			e.mu.Unlock()
-			return
-		}
-	}
-}
-
-// addTaskLocked schedules fn on the engine's timer (caller holds e.mu)
-// and pokes the engine goroutine in case the new deadline is earlier
-// than the one its timer is armed for.
+// addTaskLocked schedules fn on the engine's task queue (caller holds
+// e.mu) and promotes the engine's wheel timer when the new deadline is
+// the queue's earliest — what used to be a poke on the engine
+// goroutine's wake channel. If the new task is not the earliest, the
+// timer is already armed for a sooner deadline (or the engine is queued
+// for a worker pass, which re-arms under the lock).
 func (e *engine) addTaskLocked(d time.Duration, fn func(now time.Time)) {
-	e.tasks.add(time.Now().Add(d), fn)
-	select {
-	case e.wake <- struct{}{}:
-	default:
+	when := time.Now().Add(d)
+	e.tasks.add(when, fn)
+	if next, ok := e.tasks.next(); ok && next.Equal(when) {
+		e.timer.Arm(when)
 	}
 }
 

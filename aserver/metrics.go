@@ -18,7 +18,7 @@ import (
 //   - Request totals and dispatch latency: the dispatch wrappers in
 //     dispatch.go, on the dispatching goroutine.
 //   - Engine lock wait/hold: the lockers themselves (hot dispatch and
-//     the engine goroutine's task pass).
+//     the scheduler's worker task pass).
 //   - Play ingress bytes/chunks: the PlaySamples branch of dispatchHot.
 //   - Record egress bytes/chunks: finishRecordReply, the single seal
 //     point every record reply passes through (first-try and retry).
@@ -67,29 +67,47 @@ type serverMetrics struct {
 
 	writevBatch    *metrics.Histogram // messages per vectored write
 	sendQueueDepth *metrics.Histogram // outbound queue depth at enqueue
+
+	// Update scheduler (scheduler.go). tick lag is how far past its slot
+	// deadline a wheel fire ran; batch is due timers per shard pass;
+	// overdue is engines queued awaiting a worker right now; busy is
+	// workers mid-pass; busyNs accumulates worker pass time (utilization
+	// = busyNs / (workers × wall time)); engineRuns counts worker passes.
+	schedTickLag     *metrics.Histogram
+	schedBatch       *metrics.Histogram
+	schedOverdue     *metrics.Gauge
+	schedWorkersBusy *metrics.Gauge
+	schedBusyNs      *metrics.Counter
+	schedEngineRuns  *metrics.Counter
 }
 
 func newServerMetrics() *serverMetrics {
 	reg := metrics.NewRegistry()
 	return &serverMetrics{
-		reg:             reg,
-		connects:        reg.Counter("server.connects"),
-		disconnects:     reg.Counter("server.disconnects"),
-		activeClients:   reg.Gauge("server.active_clients"),
-		clientErrors:    reg.Counter("server.client_errors"),
-		queueOverflows:  reg.Counter("server.queue_overflows"),
-		evictions:       reg.Counter("server.evictions"),
-		sheds:           reg.Counter("server.sheds"),
-		drains:          reg.Counter("server.drains"),
-		clientCloses:    reg.Counter("server.client_closes"),
-		queuedBytes:     reg.Gauge("wire.queued_bytes"),
-		frameBytes:      reg.Gauge("ingress.frame_bytes"),
-		dispatchPlay:    reg.Histogram("dispatch.play_ns"),
-		dispatchRecord:  reg.Histogram("dispatch.record_ns"),
-		dispatchGetTime: reg.Histogram("dispatch.gettime_ns"),
-		dispatchControl: reg.Histogram("dispatch.control_ns"),
-		writevBatch:     reg.Histogram("wire.writev_batch"),
-		sendQueueDepth:  reg.Histogram("wire.send_queue_depth"),
+		reg:              reg,
+		connects:         reg.Counter("server.connects"),
+		disconnects:      reg.Counter("server.disconnects"),
+		activeClients:    reg.Gauge("server.active_clients"),
+		clientErrors:     reg.Counter("server.client_errors"),
+		queueOverflows:   reg.Counter("server.queue_overflows"),
+		evictions:        reg.Counter("server.evictions"),
+		sheds:            reg.Counter("server.sheds"),
+		drains:           reg.Counter("server.drains"),
+		clientCloses:     reg.Counter("server.client_closes"),
+		queuedBytes:      reg.Gauge("wire.queued_bytes"),
+		frameBytes:       reg.Gauge("ingress.frame_bytes"),
+		dispatchPlay:     reg.Histogram("dispatch.play_ns"),
+		dispatchRecord:   reg.Histogram("dispatch.record_ns"),
+		dispatchGetTime:  reg.Histogram("dispatch.gettime_ns"),
+		dispatchControl:  reg.Histogram("dispatch.control_ns"),
+		writevBatch:      reg.Histogram("wire.writev_batch"),
+		sendQueueDepth:   reg.Histogram("wire.send_queue_depth"),
+		schedTickLag:     reg.Histogram("sched.tick_lag_ns"),
+		schedBatch:       reg.Histogram("sched.batch_size"),
+		schedOverdue:     reg.Gauge("sched.overdue_tasks"),
+		schedWorkersBusy: reg.Gauge("sched.workers_busy"),
+		schedBusyNs:      reg.Counter("sched.worker_busy_ns"),
+		schedEngineRuns:  reg.Counter("sched.engine_runs"),
 	}
 }
 
@@ -126,7 +144,7 @@ func (sm *serverMetrics) dispatchFor(op uint8) *metrics.Histogram {
 // Atomic so engine goroutines, reader goroutines, and the seal points in
 // client.go can all update without extending the engine lock's hold.
 type engineMetrics struct {
-	lockWait *metrics.Histogram // ns waiting to acquire e.mu (hot dispatch + engine task pass)
+	lockWait *metrics.Histogram // ns waiting to acquire e.mu (hot dispatch + worker task pass)
 	lockHold *metrics.Histogram // ns holding e.mu
 
 	playBytes *metrics.Counter   // sample payload bytes accepted off the wire
@@ -189,6 +207,16 @@ type Snapshot struct {
 
 	WritevBatch    metrics.HistogramSnapshot `json:"writev_batch"`
 	SendQueueDepth metrics.HistogramSnapshot `json:"send_queue_depth"`
+
+	// Update scheduler: the wheel/pool replacing per-engine goroutines.
+	SchedShards       int                       `json:"sched_shards"`
+	SchedWorkers      int                       `json:"sched_workers"`
+	SchedTickLagNs    metrics.HistogramSnapshot `json:"sched_tick_lag_ns"`
+	SchedBatchSize    metrics.HistogramSnapshot `json:"sched_batch_size"`
+	SchedOverdueTasks int64                     `json:"sched_overdue_tasks"`
+	SchedWorkersBusy  int64                     `json:"sched_workers_busy"`
+	SchedWorkerBusyNs uint64                    `json:"sched_worker_busy_ns"`
+	SchedEngineRuns   uint64                    `json:"sched_engine_runs"`
 
 	Devices []DeviceStats `json:"devices"`
 }
@@ -265,6 +293,14 @@ func (s *Server) Snapshot() Snapshot {
 		DispatchControlNs:  sm.dispatchControl.Snapshot(),
 		WritevBatch:        sm.writevBatch.Snapshot(),
 		SendQueueDepth:     sm.sendQueueDepth.Snapshot(),
+		SchedShards:        s.sched.wheel.Shards(),
+		SchedWorkers:       s.sched.workers,
+		SchedTickLagNs:     sm.schedTickLag.Snapshot(),
+		SchedBatchSize:     sm.schedBatch.Snapshot(),
+		SchedOverdueTasks:  sm.schedOverdue.Load(),
+		SchedWorkersBusy:   sm.schedWorkersBusy.Load(),
+		SchedWorkerBusyNs:  sm.schedBusyNs.Load(),
+		SchedEngineRuns:    sm.schedEngineRuns.Load(),
 	}
 	for _, e := range s.engines {
 		d := e.root

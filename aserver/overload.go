@@ -282,10 +282,10 @@ func (s *Server) Drain(timeout time.Duration) {
 	for _, l := range ls {
 		l.Close()
 	}
-	deadline := time.Now().Add(timeout)
-	for !s.drained() && time.Now().Before(deadline) {
-		time.Sleep(2 * time.Millisecond)
-	}
+	// The drain watch rides the update scheduler: a wheel timer polls
+	// drained() on the worker pool until the data plane is empty or the
+	// window closes — no dedicated sleep loop.
+	s.sched.pollUntil(2*time.Millisecond, time.Now().Add(timeout), s.drained)
 	s.clientMu.RLock()
 	cs := make([]*client, 0, len(s.clients))
 	for c := range s.clients {

@@ -1,0 +1,215 @@
+package aserver
+
+import (
+	"runtime"
+	"time"
+
+	"audiofile/internal/timerwheel"
+	"sync"
+)
+
+// The update scheduler is the engine goroutine's replacement: where each
+// engine used to own a timer goroutine (O(devices) goroutines waking
+// independently), all engines now register one passive timer each with a
+// sharded timer wheel, and a bounded worker pool runs the due engines'
+// task queues in batches. The update plane's resident goroutine count is
+// O(shards + workers) regardless of device count.
+//
+// Protocol, per engine:
+//
+//   - The engine's task queue (periodic update, precise park wake-ups)
+//     is unchanged and still guarded by e.mu.
+//   - The wheel timer is armed for the queue's earliest deadline. Arming
+//     happens under e.mu — by the worker after a task pass, or by
+//     addTaskLocked when a new task beats the armed deadline (the old
+//     `wake` channel poke became a wheel promotion).
+//   - When the timer fires, the shard hands the engine to the worker
+//     pool; e.queued dedupes so an engine is in the pool's queue at most
+//     once. A worker takes e.mu through the instrumented lockTimed path,
+//     runs every due task, re-arms, and releases — identical lock
+//     protocol and metrics to the old engine goroutine.
+//
+// Liveness invariant: whenever an engine's task queue is non-empty, its
+// timer is armed or the engine is queued for a worker. Fires that race
+// with the queued flag are dropped precisely because a worker pass —
+// which always re-arms under the lock — is already pending.
+type updateScheduler struct {
+	s       *Server
+	wheel   *timerwheel.Wheel
+	work    chan schedItem
+	workers int
+	wg      sync.WaitGroup
+}
+
+// schedItem is one unit handed to the worker pool: a due engine, or a
+// generic job (drain polling) with the tick's clock reading.
+type schedItem struct {
+	e   *engine
+	fn  func(now time.Time)
+	now time.Time
+}
+
+// defaultUpdateWorkers sizes the pool: enough to use the machine during
+// a full-fleet tick, never more than one per engine (plus slack for
+// generic jobs).
+func defaultUpdateWorkers(engines int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 16 {
+		w = 16
+	}
+	if w > engines {
+		w = engines
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func newUpdateScheduler(s *Server, engines, shards, workers int) *updateScheduler {
+	if workers <= 0 {
+		workers = defaultUpdateWorkers(engines)
+	}
+	u := &updateScheduler{
+		s:       s,
+		workers: workers,
+		// Sized so every engine can be queued at once (queued dedupes at
+		// one entry per engine) plus headroom for generic jobs: a shard
+		// goroutine never blocks on a full channel in practice, and the
+		// fire path falls back to running inline if it ever would.
+		work: make(chan schedItem, engines+64),
+	}
+	u.wheel = timerwheel.New(timerwheel.Config{
+		Shards: shards, // 0 = wheel default (GOMAXPROCS/4, clamped to [1, 8])
+		OnBatch: func(n int) {
+			s.sm.schedBatch.Observe(int64(n))
+		},
+	})
+	for i := 0; i < workers; i++ {
+		u.wg.Add(1)
+		go u.worker()
+	}
+	return u
+}
+
+// register wires an engine to the wheel and arms its first deadline.
+func (u *updateScheduler) register(e *engine) {
+	sm := u.s.sm
+	e.timer = u.wheel.NewTimer(e.idx, func(now time.Time, overdue time.Duration) {
+		if overdue > 0 {
+			sm.schedTickLag.Observe(overdue.Nanoseconds())
+		} else {
+			sm.schedTickLag.Observe(0)
+		}
+		if !e.queued.CompareAndSwap(false, true) {
+			// Already awaiting a worker, which will re-arm under the
+			// lock; this fire is redundant.
+			return
+		}
+		sm.schedOverdue.Add(1)
+		select {
+		case u.work <- schedItem{e: e, now: now}:
+		default:
+			// The channel is sized for the whole fleet, so this is
+			// unreachable in steady state; if it ever trips, service the
+			// engine on the shard goroutine rather than block the wheel.
+			sm.schedOverdue.Add(-1)
+			e.queued.Store(false)
+			u.serviceEngine(e, now)
+		}
+	})
+	e.mu.Lock()
+	if next, ok := e.tasks.next(); ok {
+		e.timer.Arm(next)
+	}
+	e.mu.Unlock()
+}
+
+func (u *updateScheduler) worker() {
+	defer u.wg.Done()
+	for {
+		select {
+		case it := <-u.work:
+			if it.fn != nil {
+				it.fn(it.now)
+				continue
+			}
+			u.runEngine(it.e, it.now)
+		case <-u.s.done:
+			return
+		}
+	}
+}
+
+// runEngine is one worker pass over a due engine. The queued flag is
+// cleared before the task pass so a fire arriving mid-pass re-queues the
+// engine instead of being lost.
+func (u *updateScheduler) runEngine(e *engine, now time.Time) {
+	sm := u.s.sm
+	sm.schedOverdue.Add(-1)
+	e.queued.Store(false)
+	sm.schedWorkersBusy.Add(1)
+	t0 := time.Now()
+	u.serviceEngine(e, now)
+	sm.schedBusyNs.Add(uint64(time.Since(t0).Nanoseconds()))
+	sm.schedWorkersBusy.Add(-1)
+	sm.schedEngineRuns.Inc()
+}
+
+// serviceEngine runs the engine's due tasks and re-arms its wheel timer
+// for the next deadline, all under the engine lock: any addTaskLocked
+// that lands after our unlock sees the timer we armed and promotes it if
+// it holds an earlier deadline.
+func (u *updateScheduler) serviceEngine(e *engine, now time.Time) {
+	acq := e.m.lockTimed(&e.mu)
+	e.tasks.runDue(now)
+	if next, ok := e.tasks.next(); ok {
+		e.timer.Arm(next)
+	}
+	e.m.unlockTimed(&e.mu, acq)
+}
+
+// pollUntil runs cond on the worker pool every interval until it returns
+// true or deadline passes (or the server shuts down). This is how Drain
+// watches the data plane empty without a dedicated sleep loop: the poll
+// rides the same wheel/worker machinery as the updates it is waiting on.
+func (u *updateScheduler) pollUntil(interval time.Duration, deadline time.Time, cond func() bool) {
+	done := make(chan struct{})
+	var t *timerwheel.Timer
+	var check func(now time.Time)
+	check = func(now time.Time) {
+		if cond() || now.After(deadline) {
+			close(done)
+			return
+		}
+		t.Arm(now.Add(interval))
+	}
+	t = u.wheel.NewTimer(0, func(now time.Time, _ time.Duration) {
+		select {
+		case u.work <- schedItem{fn: check, now: now}:
+		default:
+			check(now)
+		}
+	})
+	t.Arm(time.Now().Add(interval))
+	select {
+	case <-done:
+	case <-u.s.done:
+	}
+	t.Stop()
+}
+
+// stop halts the wheel and joins the workers (they exit on s.done), then
+// discards any park still registered — the engines no longer have their
+// own goroutines to do shutdown cleanup, so the scheduler owns it.
+func (u *updateScheduler) stop() {
+	u.wheel.Stop()
+	u.wg.Wait()
+	for _, e := range u.s.engines {
+		e.mu.Lock()
+		for c, p := range e.parks {
+			e.finishPark(c, p, false)
+		}
+		e.mu.Unlock()
+	}
+}

@@ -1,0 +1,121 @@
+package aserver
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"audiofile/internal/vdev"
+)
+
+// manyCodecs builds n manual-clock CODEC device specs (no real-time
+// clocks, so the fleet is cheap to host in a test).
+func manyCodecs(n int) []DeviceSpec {
+	specs := make([]DeviceSpec, n)
+	for i := range specs {
+		specs[i] = DeviceSpec{
+			Kind:  "codec",
+			Name:  fmt.Sprintf("codec%d", i),
+			Clock: vdev.NewManualClock(8000),
+		}
+	}
+	return specs
+}
+
+// TestUpdatePlaneGoroutineInventory is the tentpole's headline claim:
+// hosting 1024 devices must cost O(shards + workers) resident
+// goroutines, not one per device. The old design ran engine.run() per
+// engine — 1024 goroutines here; the wheel/scheduler runs shard loops
+// plus the bounded worker pool plus the control loop.
+func TestUpdatePlaneGoroutineInventory(t *testing.T) {
+	const devs = 1024
+	runtime.GC()
+	before := runtime.NumGoroutine()
+	s, err := New(Options{
+		Devices: manyCodecs(devs),
+		Logf:    func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	after := runtime.NumGoroutine()
+	delta := after - before
+	budget := s.sched.wheel.Shards() + s.sched.workers + 8 // control loop + runtime slack
+	if delta > budget {
+		t.Fatalf("hosting %d devices added %d goroutines, budget %d (shards=%d workers=%d)",
+			devs, delta, budget, s.sched.wheel.Shards(), s.sched.workers)
+	}
+	if delta >= devs {
+		t.Fatalf("goroutine count grew with device count: +%d for %d devices", delta, devs)
+	}
+}
+
+// TestSchedulerRunsUpdates checks the wheel actually drives the periodic
+// update pump: engines get serviced by workers at their cadence and the
+// scheduler accounting moves.
+func TestSchedulerRunsUpdates(t *testing.T) {
+	s, err := New(Options{
+		Devices: manyCodecs(4),
+		Logf:    func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Codec interval is min(100ms, hwDur/2) = 64ms; 500ms covers several
+	// ticks for all four engines even on a loaded CI machine.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		snap := s.Snapshot()
+		if snap.SchedEngineRuns >= 8 && snap.SchedTickLagNs.Count >= 8 {
+			if snap.SchedOverdueTasks < 0 {
+				t.Fatalf("sched.overdue_tasks gauge went negative: %d", snap.SchedOverdueTasks)
+			}
+			if snap.SchedWorkersBusy < 0 {
+				t.Fatalf("sched.workers_busy gauge went negative: %d", snap.SchedWorkersBusy)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("scheduler barely ran: engine_runs=%d tick_lag_count=%d",
+				snap.SchedEngineRuns, snap.SchedTickLagNs.Count)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestAddTaskLockedPromotes checks the wake-channel replacement: a task
+// scheduled well before the engine's next periodic tick must promote the
+// wheel timer and run near its own deadline, not wait out the tick.
+func TestAddTaskLockedPromotes(t *testing.T) {
+	s, err := New(Options{
+		Devices: manyCodecs(1),
+		Logf:    func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	e := s.engines[0]
+	ran := make(chan time.Time, 1)
+	start := time.Now()
+	e.mu.Lock()
+	// The periodic tick is 64ms out; this must not wait for it.
+	e.addTaskLocked(5*time.Millisecond, func(now time.Time) {
+		select {
+		case ran <- now:
+		default:
+		}
+	})
+	e.mu.Unlock()
+	select {
+	case <-ran:
+		if d := time.Since(start); d > 50*time.Millisecond {
+			t.Fatalf("promoted 5ms task ran after %v; promotion is not reaching the wheel", d)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("promoted task never ran")
+	}
+}

@@ -7,8 +7,11 @@
 // control plane and a sharded data plane. The loop goroutine keeps the
 // genuinely global state (client registry, atoms, properties, host
 // access, AC lifecycle); each root device gets an engine — a mutex plus
-// a timer goroutine — that owns its buffering state, periodic update,
-// parked requests, and phone-line/patch pumps. Hot requests
+// a passive timer on a sharded timer wheel — that owns its buffering
+// state, periodic update, parked requests, and phone-line/patch pumps.
+// Due engines are serviced by a bounded worker pool (the update
+// scheduler), so the update plane runs O(shards + workers) goroutines
+// regardless of device count. Hot requests
 // (PlaySamples, RecordSamples, GetTime) are dispatched inline by the
 // connection's reader goroutine under the owning engine's lock, so
 // independent devices are served in parallel and the per-request channel
@@ -110,6 +113,18 @@ type Options struct {
 	// FrameBytesCeiling bounds pooled request-frame bytes in flight
 	// (default 16 MiB); exceeding it sheds the oldest-idle client.
 	FrameBytesCeiling int64
+
+	// Update scheduler sizing (see scheduler.go). The update plane runs
+	// O(UpdateShards + UpdateWorkers) goroutines however many devices the
+	// server hosts.
+
+	// UpdateShards is the number of timer-wheel shards driving device
+	// updates. 0 = GOMAXPROCS/4 clamped to [1, 8].
+	UpdateShards int
+	// UpdateWorkers bounds the pool running due device updates.
+	// 0 = GOMAXPROCS clamped to [1, 16], and never more than one per
+	// engine.
+	UpdateWorkers int
 }
 
 // DefaultDevices returns the paper's Alofi-like device complement: a
@@ -141,6 +156,10 @@ type Server struct {
 	// (views included) to its root's engine. Both are immutable after New.
 	engines     []*engine
 	engineByDev []*engine
+
+	// sched drives every engine's task queue: a sharded timer wheel plus
+	// a bounded worker pool (scheduler.go). Immutable after New.
+	sched *updateScheduler
 
 	// clientMu guards the clients set and each client's eventMasks: the
 	// loop writes them, engine goroutines read them to fan out events.
@@ -242,8 +261,11 @@ func New(opts Options) (*Server, error) {
 		}
 		s.engineByDev = append(s.engineByDev, e)
 	}
+	// The update plane: one sharded wheel + one bounded worker pool for
+	// every engine, instead of a goroutine per engine.
+	s.sched = newUpdateScheduler(s, len(s.engines), opts.UpdateShards, opts.UpdateWorkers)
 	for _, e := range s.engines {
-		go e.run()
+		s.sched.register(e)
 	}
 	go s.loop()
 	return s, nil
@@ -499,9 +521,7 @@ func (s *Server) Close() {
 	}
 	close(s.done)
 	<-s.stopped
-	for _, e := range s.engines {
-		<-e.stopped
-	}
+	s.sched.stop()
 	s.wg.Wait()
 	for _, fn := range s.closers {
 		fn()

@@ -1,7 +1,6 @@
 package aserver
 
 import (
-	"container/heap"
 	"time"
 )
 
@@ -17,6 +16,11 @@ import (
 // their next run relative to that instant instead of calling time.Now()
 // again: one clock read per tick, and a tick that fires late does not
 // silently stretch the period.
+//
+// The heap is hand-rolled rather than container/heap: heap.Push boxes
+// every element through an interface, and task passes run on the
+// scheduler's per-tick hot path, which must not allocate
+// (BenchmarkUpdateScheduler's 0 allocs/op gate).
 
 type task struct {
 	when time.Time
@@ -24,27 +28,17 @@ type task struct {
 	fn   func(now time.Time)
 }
 
-type taskHeap []task
-
-func (h taskHeap) Len() int { return len(h) }
-func (h taskHeap) Less(i, j int) bool {
-	if !h[i].when.Equal(h[j].when) {
-		return h[i].when.Before(h[j].when)
+// before is the heap order: earliest deadline first, insertion order
+// within a deadline.
+func (t task) before(u task) bool {
+	if !t.when.Equal(u.when) {
+		return t.when.Before(u.when)
 	}
-	return h[i].seq < h[j].seq
-}
-func (h taskHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *taskHeap) Push(x any)   { *h = append(*h, x.(task)) }
-func (h *taskHeap) Pop() any {
-	old := *h
-	n := len(old)
-	t := old[n-1]
-	*h = old[:n-1]
-	return t
+	return t.seq < u.seq
 }
 
 type taskQueue struct {
-	h   taskHeap
+	h   []task
 	seq uint64
 }
 
@@ -54,7 +48,17 @@ func newTaskQueue() *taskQueue { return &taskQueue{} }
 // deadlines run in the order they were added.
 func (q *taskQueue) add(when time.Time, fn func(now time.Time)) {
 	q.seq++
-	heap.Push(&q.h, task{when: when, seq: q.seq, fn: fn})
+	q.h = append(q.h, task{when: when, seq: q.seq, fn: fn})
+	// Sift up.
+	i := len(q.h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.h[i].before(q.h[parent]) {
+			break
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
 }
 
 // addAfter schedules fn after a delay from now, the AddTask(proc, task,
@@ -71,13 +75,41 @@ func (q *taskQueue) next() (time.Time, bool) {
 	return q.h[0].when, true
 }
 
+// pop removes the root, clearing the vacated slot so the queue does not
+// pin dead task closures.
+func (q *taskQueue) pop() task {
+	t := q.h[0]
+	n := len(q.h) - 1
+	q.h[0] = q.h[n]
+	q.h[n] = task{}
+	q.h = q.h[:n]
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && q.h[l].before(q.h[min]) {
+			min = l
+		}
+		if r < n && q.h[r].before(q.h[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		q.h[i], q.h[min] = q.h[min], q.h[i]
+		i = min
+	}
+	return t
+}
+
 // runDue executes every task due at now and returns how many ran. Tasks
 // may reschedule themselves (the periodic update tasks do); each fn
 // receives now so re-arms are computed from the tick that ran them.
 func (q *taskQueue) runDue(now time.Time) int {
 	n := 0
 	for len(q.h) > 0 && !q.h[0].when.After(now) {
-		t := heap.Pop(&q.h).(task)
+		t := q.pop()
 		t.fn(now)
 		n++
 	}

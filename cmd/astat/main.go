@@ -1,12 +1,16 @@
 // astat polls an AudioFile server's stats endpoint (afd -stats) and
 // renders a live one-line-per-device summary, in the spirit of vmstat:
 //
-//	astat [-a host:port] [-i interval] [-n count] [-once]
+//	astat [-a host:port] [-i interval] [-n count] [-once] [-top N] [-agg]
 //
 // Each tick prints one line per device with the deltas since the last
 // scrape (bytes and frames per interval, underruns, parks) plus the
-// dispatch p99 for the hot ops. -once prints a single absolute snapshot
-// and exits, which is also the scriptable mode.
+// dispatch p99 for the hot ops. With hundreds or thousands of devices
+// (the PBX workloads) the full table is unusable: -top N keeps only the
+// N busiest devices per tick, and -agg drops the per-device rows
+// entirely for one server-wide line per tick, including the update
+// scheduler's health (engine update rate, tick-lag p99). -once prints a
+// single absolute snapshot and exits, which is also the scriptable mode.
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"sort"
 	"time"
 
 	"audiofile/aserver"
@@ -26,6 +31,8 @@ var (
 	interval = flag.Duration("i", time.Second, "polling interval")
 	count    = flag.Int("n", 0, "number of intervals to print (0 = until interrupted)")
 	once     = flag.Bool("once", false, "print one absolute snapshot and exit")
+	top      = flag.Int("top", 0, "show only the N busiest devices per tick, by byte rate (0 = all)")
+	agg      = flag.Bool("agg", false, "aggregate only: one server-wide line per tick, no per-device rows")
 )
 
 func main() {
@@ -51,7 +58,11 @@ func main() {
 		if tick%20 == 0 && tick > 0 {
 			header()
 		}
-		printDelta(prev, cur, *interval)
+		if *agg {
+			printAggregate(prev, cur, *interval)
+		} else {
+			printDelta(prev, cur, *interval)
+		}
 		prev = cur
 	}
 }
@@ -73,42 +84,112 @@ func scrape(url string) (aserver.Snapshot, error) {
 }
 
 func header() {
+	if *agg {
+		fmt.Printf("%7s %9s %9s %9s %7s %6s %6s %6s %8s %8s %9s\n",
+			"devs", "play-B/s", "rec-B/s", "sil-f/s", "under", "parks", "queued", "errs", "reqs/s", "upd/s", "lag-p99")
+		return
+	}
 	fmt.Printf("%-10s %9s %9s %9s %7s %6s %6s %6s %9s %9s\n",
 		"device", "play-B/s", "rec-B/s", "sil-f/s", "under", "parks", "queued", "errs", "play-p99", "lock-p99")
 }
 
+// deviceRate is one device's interval delta, used for -top ranking.
+type deviceRate struct {
+	cur      aserver.DeviceStats
+	playRate float64
+	recRate  float64
+	silRate  float64
+	under    uint64
+	parks    uint64
+}
+
+// rates computes per-device interval deltas, sorted busiest-first when
+// ranking is requested.
+func rates(prev, cur aserver.Snapshot, secs float64, rank bool) []deviceRate {
+	prevDev := make(map[int]aserver.DeviceStats, len(prev.Devices))
+	for _, d := range prev.Devices {
+		prevDev[d.Index] = d
+	}
+	rows := make([]deviceRate, 0, len(cur.Devices))
+	for _, d := range cur.Devices {
+		p := prevDev[d.Index]
+		rows = append(rows, deviceRate{
+			cur:      d,
+			playRate: float64(d.PlayBytes-p.PlayBytes) / secs,
+			recRate:  float64(d.RecBytes-p.RecBytes) / secs,
+			silRate:  float64(d.PlaySilenceFilled-p.PlaySilenceFilled) / secs,
+			under:    d.Underruns - p.Underruns,
+			parks:    d.ParksStarted - p.ParksStarted,
+		})
+	}
+	if rank {
+		sort.SliceStable(rows, func(i, j int) bool {
+			return rows[i].playRate+rows[i].recRate > rows[j].playRate+rows[j].recRate
+		})
+	}
+	return rows
+}
+
 // printDelta renders one interval: per-device rates from the counter
-// deltas, with the server-wide columns folded into the first row.
+// deltas, with the server-wide columns folded into the first row. With
+// -top N only the N busiest devices print, with a trailer counting the
+// rest.
 func printDelta(prev, cur aserver.Snapshot, dt time.Duration) {
 	secs := dt.Seconds()
 	if secs <= 0 {
 		secs = 1
 	}
-	prevDev := make(map[int]aserver.DeviceStats, len(prev.Devices))
-	for _, d := range prev.Devices {
-		prevDev[d.Index] = d
+	rows := rates(prev, cur, secs, *top > 0)
+	hidden := 0
+	if *top > 0 && len(rows) > *top {
+		hidden = len(rows) - *top
+		rows = rows[:*top]
 	}
-	for i, d := range cur.Devices {
-		p := prevDev[d.Index]
+	for i, r := range rows {
 		errs := ""
 		if i == 0 {
 			errs = fmt.Sprintf("%d", cur.ClientErrors-prev.ClientErrors)
 		}
 		fmt.Printf("%-10s %9.0f %9.0f %9.0f %7d %6d %6d %6s %9s %9s\n",
-			d.Name,
-			float64(d.PlayBytes-p.PlayBytes)/secs,
-			float64(d.RecBytes-p.RecBytes)/secs,
-			float64(d.PlaySilenceFilled-p.PlaySilenceFilled)/secs,
-			d.Underruns-p.Underruns,
-			d.ParksStarted-p.ParksStarted,
-			d.ParkedNow,
-			errs,
+			r.cur.Name, r.playRate, r.recRate, r.silRate,
+			r.under, r.parks, r.cur.ParkedNow, errs,
 			ns(cur.DispatchPlayNs.Quantile(0.99)),
-			ns(d.LockWaitNs.Quantile(0.99)))
+			ns(r.cur.LockWaitNs.Quantile(0.99)))
+	}
+	if hidden > 0 {
+		fmt.Printf("... (+%d more devices; -top %d)\n", hidden, *top)
 	}
 }
 
-// printAbsolute renders one snapshot's cumulative counters.
+// printAggregate renders one interval as a single server-wide line: the
+// device columns summed, plus request and engine-update rates and the
+// scheduler's tick-lag p99.
+func printAggregate(prev, cur aserver.Snapshot, dt time.Duration) {
+	secs := dt.Seconds()
+	if secs <= 0 {
+		secs = 1
+	}
+	var play, rec, sil float64
+	var under, parks uint64
+	var queued int64
+	for _, r := range rates(prev, cur, secs, false) {
+		play += r.playRate
+		rec += r.recRate
+		sil += r.silRate
+		under += r.under
+		parks += r.parks
+		queued += r.cur.ParkedNow
+	}
+	fmt.Printf("%7d %9.0f %9.0f %9.0f %7d %6d %6d %6d %8.0f %8.0f %9s\n",
+		len(cur.Devices), play, rec, sil, under, parks, queued,
+		cur.ClientErrors-prev.ClientErrors,
+		float64(cur.Requests-prev.Requests)/secs,
+		float64(cur.SchedEngineRuns-prev.SchedEngineRuns)/secs,
+		ns(cur.SchedTickLagNs.Quantile(0.99)))
+}
+
+// printAbsolute renders one snapshot's cumulative counters. -top bounds
+// the device table here too.
 func printAbsolute(s aserver.Snapshot) {
 	fmt.Printf("requests %d  connects %d  disconnects %d  active %d  errors %d  overflows %d\n",
 		s.Requests, s.Connects, s.Disconnects, s.ActiveClients, s.ClientErrors, s.QueueOverflows)
@@ -118,12 +199,35 @@ func printAbsolute(s aserver.Snapshot) {
 		ns(s.DispatchPlayNs.Quantile(0.99)), ns(s.DispatchRecordNs.Quantile(0.99)),
 		ns(s.DispatchGetTimeNs.Quantile(0.99)), ns(s.DispatchControlNs.Quantile(0.99)),
 		s.WritevBatch.Mean())
+	fmt.Printf("sched: %d shards  %d workers  %d engine-runs  tick-lag p50 %s p99 %s  batch p99 %d  overdue %d\n",
+		s.SchedShards, s.SchedWorkers, s.SchedEngineRuns,
+		ns(s.SchedTickLagNs.Quantile(0.50)), ns(s.SchedTickLagNs.Quantile(0.99)),
+		s.SchedBatchSize.Quantile(0.99), s.SchedOverdueTasks)
+	if *agg {
+		if werr := conservation(s); werr != "" {
+			fmt.Fprintf(os.Stderr, "astat: WARNING: %s\n", werr)
+		}
+		return
+	}
+	devs := s.Devices
+	hidden := 0
+	if *top > 0 && len(devs) > *top {
+		ranked := append([]aserver.DeviceStats(nil), devs...)
+		sort.SliceStable(ranked, func(i, j int) bool {
+			return ranked[i].PlayBytes+ranked[i].RecBytes > ranked[j].PlayBytes+ranked[j].RecBytes
+		})
+		hidden = len(ranked) - *top
+		devs = ranked[:*top]
+	}
 	fmt.Printf("%-10s %12s %12s %10s %10s %7s %6s %6s %9s\n",
 		"device", "play-bytes", "rec-bytes", "sil-fill", "preempt", "under", "parks", "queued", "lock-p99")
-	for _, d := range s.Devices {
+	for _, d := range devs {
 		fmt.Printf("%-10s %12d %12d %10d %10d %7d %6d %6d %9s\n",
 			d.Name, d.PlayBytes, d.RecBytes, d.PlaySilenceFilled, d.FramesPreempted,
 			d.Underruns, d.ParksStarted, d.ParkedNow, ns(d.LockWaitNs.Quantile(0.99)))
+	}
+	if hidden > 0 {
+		fmt.Printf("... (+%d more devices; -top %d)\n", hidden, *top)
 	}
 	if werr := conservation(s); werr != "" {
 		fmt.Fprintf(os.Stderr, "astat: WARNING: %s\n", werr)

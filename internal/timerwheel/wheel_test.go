@@ -1,0 +1,194 @@
+package timerwheel
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// collect returns a fire func that records fire times on ch.
+func collect(ch chan time.Time) func(time.Time, time.Duration) {
+	return func(now time.Time, _ time.Duration) { ch <- now }
+}
+
+func TestTimerFiresOnceNeverEarly(t *testing.T) {
+	w := New(Config{Shards: 2, Slots: 64, Granularity: time.Millisecond})
+	defer w.Stop()
+	ch := make(chan time.Time, 1)
+	tm := w.NewTimer(0, collect(ch))
+	start := time.Now()
+	deadline := start.Add(20 * time.Millisecond)
+	tm.Arm(deadline)
+	select {
+	case fired := <-ch:
+		// Rounded up to the slot boundary: never early (allow scheduler
+		// noise of one granule on the late side plus CI jitter).
+		if fired.Before(deadline.Add(-time.Millisecond)) {
+			t.Fatalf("fired %v before deadline %v", fired, deadline)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("timer never fired")
+	}
+	select {
+	case <-ch:
+		t.Fatal("timer fired twice")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestArmEarlierPromotes(t *testing.T) {
+	w := New(Config{Shards: 1, Slots: 64, Granularity: time.Millisecond})
+	defer w.Stop()
+	ch := make(chan time.Time, 1)
+	tm := w.NewTimer(0, collect(ch))
+	// Park far in the future (in the overflow heap), then promote to
+	// near-now; the shard must wake for the new deadline.
+	tm.Arm(time.Now().Add(10 * time.Second))
+	tm.Arm(time.Now().Add(10 * time.Millisecond))
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("promoted timer did not fire at the earlier deadline")
+	}
+}
+
+func TestStopCancels(t *testing.T) {
+	w := New(Config{Shards: 1, Slots: 64, Granularity: time.Millisecond})
+	defer w.Stop()
+	var fired atomic.Int32
+	tm := w.NewTimer(0, func(time.Time, time.Duration) { fired.Add(1) })
+	tm.Arm(time.Now().Add(20 * time.Millisecond))
+	tm.Stop()
+	time.Sleep(60 * time.Millisecond)
+	if n := fired.Load(); n != 0 {
+		t.Fatalf("stopped timer fired %d times", n)
+	}
+	// A stopped timer can be re-armed.
+	tm.Arm(time.Now().Add(5 * time.Millisecond))
+	time.Sleep(60 * time.Millisecond)
+	if n := fired.Load(); n != 1 {
+		t.Fatalf("re-armed timer fired %d times, want 1", n)
+	}
+}
+
+// TestOverflowCascade arms timers beyond the ring horizon and checks
+// they cascade into the ring and fire at (not before) their deadlines.
+func TestOverflowCascade(t *testing.T) {
+	// 8 slots × 1ms = 8ms horizon; 50ms deadlines start in overflow.
+	w := New(Config{Shards: 1, Slots: 8, Granularity: time.Millisecond})
+	defer w.Stop()
+	const n = 32
+	var wg sync.WaitGroup
+	wg.Add(n)
+	start := time.Now()
+	var early atomic.Int32
+	for i := 0; i < n; i++ {
+		d := time.Duration(20+i) * time.Millisecond
+		deadline := start.Add(d)
+		tm := w.NewTimer(i, func(now time.Time, _ time.Duration) {
+			if now.Before(deadline.Add(-time.Millisecond)) {
+				early.Add(1)
+			}
+			wg.Done()
+		})
+		tm.Arm(deadline)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("overflow timers did not all fire")
+	}
+	if e := early.Load(); e != 0 {
+		t.Fatalf("%d overflow timers fired early", e)
+	}
+}
+
+// TestBatching arms many timers on one shard at the same deadline and
+// checks they arrive as few large batches, not singletons.
+func TestBatching(t *testing.T) {
+	var batches []int
+	var mu sync.Mutex
+	w := New(Config{Shards: 1, Slots: 64, Granularity: 5 * time.Millisecond,
+		OnBatch: func(n int) { mu.Lock(); batches = append(batches, n); mu.Unlock() }})
+	defer w.Stop()
+	const n = 100
+	var wg sync.WaitGroup
+	wg.Add(n)
+	deadline := time.Now().Add(30 * time.Millisecond)
+	for i := 0; i < n; i++ {
+		tm := w.NewTimer(0, func(time.Time, time.Duration) { wg.Done() })
+		tm.Arm(deadline)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	max := 0
+	for _, b := range batches {
+		if b > max {
+			max = b
+		}
+	}
+	if max < n/2 {
+		t.Fatalf("largest batch %d of %d same-deadline timers; wheel is not batching", max, n)
+	}
+}
+
+// TestChurnRace hammers Arm/Stop from many goroutines while the wheel
+// fires, for the race detector.
+func TestChurnRace(t *testing.T) {
+	w := New(Config{Shards: 4, Slots: 32, Granularity: time.Millisecond})
+	defer w.Stop()
+	var fired atomic.Int64
+	const workers = 8
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			tm := w.NewTimer(g, func(time.Time, time.Duration) { fired.Add(1) })
+			for i := 0; i < 300; i++ {
+				tm.Arm(time.Now().Add(time.Duration(rng.Intn(4)) * time.Millisecond))
+				if rng.Intn(4) == 0 {
+					tm.Stop()
+				}
+				if rng.Intn(8) == 0 {
+					time.Sleep(time.Duration(rng.Intn(2)) * time.Millisecond)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	time.Sleep(20 * time.Millisecond)
+	if fired.Load() == 0 {
+		t.Fatal("no timers fired under churn")
+	}
+}
+
+// TestRearmFromFire re-arms a timer from its own fire callback — the
+// periodic-update shape — and checks the cadence holds.
+func TestRearmFromFire(t *testing.T) {
+	w := New(Config{Shards: 1, Slots: 64, Granularity: time.Millisecond})
+	defer w.Stop()
+	done := make(chan struct{})
+	var n int
+	var tm *Timer
+	tm = w.NewTimer(0, func(now time.Time, _ time.Duration) {
+		n++
+		if n == 10 {
+			close(done)
+			return
+		}
+		tm.Arm(now.Add(2 * time.Millisecond))
+	})
+	tm.Arm(time.Now().Add(2 * time.Millisecond))
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatalf("periodic timer stalled after %d fires", n)
+	}
+}

@@ -71,7 +71,12 @@ func newShardRig(b *testing.B, devices, clients int) *shardRig {
 func BenchmarkShardScaling(b *testing.B) {
 	const clients = 8
 	const blockBytes = 24 << 10
-	for _, devices := range []int{1, 2, 4} {
+	// The large rungs (256, 1024) measure the cost of *hosting* a big
+	// fleet, not of spreading clients over it: the 8 clients play on the
+	// first 8 devices while the other engines tick idle on the wheel.
+	// Under the retired goroutine-per-engine design those rungs paid for
+	// ~devices timer goroutines; on the wheel they cost shard batches.
+	for _, devices := range []int{1, 2, 4, 256, 1024} {
 		b.Run(fmt.Sprintf("devs=%d/clients=%d", devices, clients), func(b *testing.B) {
 			r := newShardRig(b, devices, clients)
 			data := make([]byte, blockBytes)
