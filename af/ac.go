@@ -42,6 +42,10 @@ type AC struct {
 	// Attributes mirrors the server-side context, maintained locally.
 	Attributes ACAttributes
 
+	// sub is the context's live broadcast subscription, if any
+	// (subscribe.go). Guarded by conn.mu.
+	sub *Subscription
+
 	freed bool
 }
 
@@ -153,6 +157,11 @@ func (ac *AC) Free() error {
 	}
 	ac.freed = true
 	delete(c.acs, ac.id)
+	if ac.sub != nil {
+		// The server unsubscribes as part of freeing the context; drop the
+		// local routing so in-flight chunks are discarded, not misdelivered.
+		ac.sub.detachLocked()
+	}
 	if err := proto.AppendFreeAC(&c.w, ac.id); err != nil {
 		return err
 	}

@@ -221,6 +221,9 @@ type Conn struct {
 	// acs tracks the live audio contexts by id, so a reconnect can
 	// recreate them (ids are client-allocated; attributes are mirrored).
 	acs map[uint32]*AC
+	// subs routes pushed broadcast chunks by channel id (device index);
+	// see subscribe.go.
+	subs map[uint32]*Subscription
 
 	synchronous bool
 	afterFunc   func(*Conn)
@@ -362,6 +365,7 @@ func NewConnOrder(conn net.Conn, bigEndian bool) (*Conn, error) {
 		vendor:   rep.Vendor,
 		nextACID: 1,
 		acs:      make(map[uint32]*AC),
+		subs:     make(map[uint32]*Subscription),
 	}
 	for _, d := range rep.Devices {
 		c.devices = append(c.devices, Device{

@@ -131,6 +131,8 @@ func (c *Conn) dispatchAsync(msg *proto.Message) {
 	switch {
 	case msg.Event != nil:
 		c.events = append(c.events, eventFromWire(msg.Event))
+	case msg.Broadcast != nil:
+		c.deliverBroadcast(msg.Broadcast)
 	case msg.Error != nil:
 		if msg.Error.Code == proto.ErrOverload || msg.Error.Code == proto.ErrDrain {
 			// A connection-scoped goodbye, not a per-request failure: the

@@ -188,6 +188,15 @@ func (c *Conn) resetOnto(nc net.Conn) error {
 	c.sentSeq = 0
 	c.ioErr = nil
 	c.closeNotice = 0
+	// Subscriptions do not survive a reconnect (like event selections):
+	// the new session has no server-side channel state, so the listener
+	// re-subscribes after resynchronizing.
+	for _, s := range c.subs {
+		s.closed = true
+		s.queue = nil
+		s.ac.sub = nil
+	}
+	clear(c.subs)
 	// Replay the live contexts in id order with a full mask: the mirrored
 	// Attributes are the complete context state.
 	ids := make([]uint32, 0, len(c.acs))

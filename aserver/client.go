@@ -62,6 +62,9 @@ type ac struct {
 	// first record increments the device's RecRefCount so the periodic
 	// record update runs (§7.4.1). Guarded by the owning engine's lock.
 	recording bool
+	// subscribed marks contexts attached to their device's broadcast
+	// channel (broadcast.go). Guarded by the owning engine's lock.
+	subscribed bool
 }
 
 // client is one connection's server-side state.
@@ -78,7 +81,7 @@ type client struct {
 	// unregister). Checked by every sender.
 	dead atomic.Bool
 
-	outCh  chan *[]byte
+	outCh  chan *wireMsg
 	closed chan struct{}
 
 	// queuedBytes is the marshaled bytes sitting in outCh: incremented by
@@ -114,7 +117,7 @@ func newClient(s *Server, conn net.Conn, order binary.ByteOrder) *client {
 		s:          s,
 		conn:       conn,
 		order:      order,
-		outCh:      make(chan *[]byte, outQueueDepth),
+		outCh:      make(chan *wireMsg, outQueueDepth),
 		closed:     make(chan struct{}),
 		evicted:    make(chan struct{}),
 		acs:        make(map[uint32]*ac),
@@ -372,7 +375,7 @@ func (c *client) writer() {
 	defer c.drainResidual()
 	defer c.conn.Close()
 	vec := make([][]byte, 0, maxWriteVec)
-	owned := make([]*[]byte, 0, maxWriteVec)
+	owned := make([]*wireMsg, 0, maxWriteVec)
 	// bufs lives outside flush: WriteTo takes its address, and a closure
 	// local would escape to the heap on every call.
 	var bufs net.Buffers
@@ -391,8 +394,11 @@ func (c *client) writer() {
 		bufs = vec
 		_, err := bufs.WriteTo(c.conn)
 		bufs = nil
+		// Release, not unconditional put: a broadcast message in the vector
+		// is shared with other subscribers' queues, and only the last
+		// releaser returns it to the pool.
 		for _, m := range owned {
-			putMsg(m)
+			m.release()
 		}
 		vec, owned = vec[:0], owned[:0]
 		queued := c.queuedBytes.Add(-nb)
@@ -408,7 +414,7 @@ func (c *client) writer() {
 		for {
 			select {
 			case msg := <-c.outCh:
-				vec = append(vec, *msg)
+				vec = append(vec, msg.buf)
 				owned = append(owned, msg)
 				if len(vec) == maxWriteVec && flush() != nil {
 					return
@@ -419,24 +425,24 @@ func (c *client) writer() {
 			break
 		}
 		if code := uint8(c.goodbye.Load()); code != 0 {
-			m := getMsg()
-			w := proto.Writer{Order: c.order, Buf: (*m)[:0]}
+			m := getMsg("goodbye")
+			w := proto.Writer{Order: c.order, Buf: m.buf}
 			e := proto.ErrorMsg{Code: code, Seq: uint16(c.seq.Load()),
 				BadValue: uint32(c.queuedBytes.Load())}
 			e.Encode(&w)
-			*m = w.Buf
+			m.buf = w.Buf
 			// The goodbye joins the accounting so the flush's decrement
 			// balances.
-			n := int64(len(*m))
+			n := int64(len(m.buf))
 			c.queuedBytes.Add(n)
 			c.s.sm.queuedBytes.Add(n)
-			vec = append(vec, *m)
+			vec = append(vec, m.buf)
 			owned = append(owned, m)
 		}
 		flush() //nolint:errcheck — connection is going away
 	}
 	for {
-		var msg *[]byte
+		var msg *wireMsg
 		select {
 		case msg = <-c.outCh:
 		case <-c.evicted:
@@ -446,13 +452,13 @@ func (c *client) writer() {
 			goodbye()
 			return
 		}
-		vec = append(vec, *msg)
+		vec = append(vec, msg.buf)
 		owned = append(owned, msg)
 		// Coalesce whatever else is queued into the same vector.
 		for len(vec) < maxWriteVec {
 			select {
 			case more := <-c.outCh:
-				vec = append(vec, *more)
+				vec = append(vec, more.buf)
 				owned = append(owned, more)
 				continue
 			default:
@@ -492,11 +498,11 @@ func (c *client) writer() {
 // may still be enqueueing; after that the final sweep is exact — any
 // sender racing past the dead check compensates via unqueueOne.
 func (c *client) drainResidual() {
-	settle := func(m *[]byte) {
-		n := int64(len(*m))
+	settle := func(m *wireMsg) {
+		n := int64(len(m.buf))
 		c.queuedBytes.Add(-n)
 		c.s.sm.queuedBytes.Add(-n)
-		putMsg(m)
+		m.release()
 	}
 	for {
 		select {
@@ -523,24 +529,25 @@ func (c *client) drainResidual() {
 func (c *client) unqueueOne() {
 	select {
 	case m := <-c.outCh:
-		n := int64(len(*m))
+		n := int64(len(m.buf))
 		c.queuedBytes.Add(-n)
 		c.s.sm.queuedBytes.Add(-n)
-		putMsg(m)
+		m.release()
 	default:
 	}
 }
 
 // send queues a marshaled message; it reports false (and evicts the
-// client) if the queue is at its hard cap. Ownership of msg passes to
-// the writer goroutine on success and back to the pool on failure.
+// client) if the queue is at its hard cap. One reference on msg passes
+// to the writer goroutine on success and is released on failure — so a
+// broadcast caller that retained per-subscriber is square either way.
 // Never blocks; safe from any goroutine.
-func (c *client) send(msg *[]byte) bool {
+func (c *client) send(msg *wireMsg) bool {
 	if c.dead.Load() {
-		putMsg(msg)
+		msg.release()
 		return false
 	}
-	n := int64(len(*msg))
+	n := int64(len(msg.buf))
 	select {
 	case c.outCh <- msg:
 		queued := c.queuedBytes.Add(n)
@@ -558,7 +565,7 @@ func (c *client) send(msg *[]byte) bool {
 	default:
 		// Hard cap: outQueueDepth messages queued and the writer is not
 		// draining. Instant eviction, no policy grace.
-		putMsg(msg)
+		msg.release()
 		c.s.sm.queueOverflows.Inc()
 		c.s.logf("aserver: client %v output queue overflow, evicting", c.conn.RemoteAddr())
 		c.evict(closeReasonEvict, proto.ErrOverload)
@@ -581,8 +588,8 @@ func (c *client) overBudget(queued int64) {
 // region. The record path hands the payload region to the device, which
 // converts samples from the record ring straight into it (under the
 // owning engine's lock), then seals the message with finishRecordReply.
-func newRecordReplyMsg(n int) (m *[]byte, payload []byte) {
-	m = getMsg()
+func newRecordReplyMsg(n int) (m *wireMsg, payload []byte) {
+	m = getMsg("record-reply")
 	buf := msgBytes(m, proto.ReplyHeaderBytes+proto.Pad4(n))
 	return m, buf[proto.ReplyHeaderBytes : proto.ReplyHeaderBytes+n]
 }
@@ -592,8 +599,8 @@ func newRecordReplyMsg(n int) (m *[]byte, payload []byte) {
 // opposite-order sample data, truncate to the delivered length, zero the
 // pad, stamp the header. The sample data is never staged anywhere but
 // the wire message itself.
-func finishRecordReply(c *client, a *ac, m *[]byte, n int, now uint32, flags uint8, seq uint16) {
-	buf := *m
+func finishRecordReply(c *client, a *ac, m *wireMsg, n int, now uint32, flags uint8, seq uint16) {
+	buf := m.buf
 	if flags&proto.SampleFlagBigEndian != 0 {
 		sampleconv.SwapBytes(a.enc, buf[proto.ReplyHeaderBytes:proto.ReplyHeaderBytes+n])
 	}
@@ -601,7 +608,7 @@ func finishRecordReply(c *client, a *ac, m *[]byte, n int, now uint32, flags uin
 	for i := proto.ReplyHeaderBytes + n; i < total; i++ {
 		buf[i] = 0
 	}
-	*m = buf[:total]
+	m.buf = buf[:total]
 	proto.PutReplyHeader(c.order, buf, &proto.Reply{Seq: seq, Time: now, Aux: uint32(n)}, n)
 	// Record egress is counted here, the seal point every record reply
 	// passes through (first-try, retried, and compressed paths alike).
@@ -614,10 +621,10 @@ func finishRecordReply(c *client, a *ac, m *[]byte, n int, now uint32, flags uin
 // sendReply marshals and queues a reply for the request carrying seq.
 func (c *client) sendReply(p *proto.Reply, seq uint16) {
 	p.Seq = seq
-	m := getMsg()
-	w := proto.Writer{Order: c.order, Buf: *m}
+	m := getMsg("reply")
+	w := proto.Writer{Order: c.order, Buf: m.buf}
 	p.Encode(&w)
-	*m = w.Buf
+	m.buf = w.Buf
 	c.send(m)
 }
 
@@ -626,10 +633,10 @@ func (c *client) sendReply(p *proto.Reply, seq uint16) {
 func (c *client) sendError(code uint8, badValue uint32, op uint8, seq uint16) {
 	c.s.sm.clientErrors.Inc()
 	e := proto.ErrorMsg{Code: code, Seq: seq, BadValue: badValue, MajorOp: op}
-	m := getMsg()
-	w := proto.Writer{Order: c.order, Buf: *m}
+	m := getMsg("error")
+	w := proto.Writer{Order: c.order, Buf: m.buf}
 	e.Encode(&w)
-	*m = w.Buf
+	m.buf = w.Buf
 	c.send(m)
 }
 
@@ -637,9 +644,9 @@ func (c *client) sendError(code uint8, badValue uint32, op uint8, seq uint16) {
 // number of the client's most recently dispatched request.
 func (c *client) sendEvent(ev *proto.Event) {
 	ev.Seq = uint16(c.seq.Load())
-	m := getMsg()
-	w := proto.Writer{Order: c.order, Buf: *m}
+	m := getMsg("event")
+	w := proto.Writer{Order: c.order, Buf: m.buf}
 	ev.Encode(&w)
-	*m = w.Buf
+	m.buf = w.Buf
 	c.send(m)
 }

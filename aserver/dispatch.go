@@ -163,6 +163,48 @@ func (s *Server) dispatchControlInner(req *request) {
 		s.releaseAC(a)
 		delete(c.acs, id)
 
+	case proto.OpSubscribe:
+		id := proto.DecodeACReq(r)
+		if r.Err != nil {
+			c.sendError(proto.ErrLength, 0, req.op, seq)
+			return
+		}
+		a := c.acs[id]
+		if a == nil {
+			c.sendError(proto.ErrAC, id, req.op, seq)
+			return
+		}
+		e := s.engineByDev[a.devIndex]
+		e.mu.Lock()
+		code := e.subscribeLocked(c, a)
+		now := a.dev.Now()
+		e.mu.Unlock()
+		if code != 0 {
+			c.sendError(code, id, req.op, seq)
+			return
+		}
+		// Aux identifies the channel the subscription joined: broadcast
+		// messages are routed client-side by this device index.
+		c.sendReply(&proto.Reply{Time: uint32(now), Aux: uint32(a.devIndex)}, seq)
+
+	case proto.OpUnsubscribe:
+		id := proto.DecodeACReq(r)
+		if r.Err != nil {
+			c.sendError(proto.ErrLength, 0, req.op, seq)
+			return
+		}
+		a := c.acs[id]
+		if a == nil {
+			c.sendError(proto.ErrAC, id, req.op, seq)
+			return
+		}
+		e := s.engineByDev[a.devIndex]
+		e.mu.Lock()
+		e.unsubscribeLocked(a)
+		now := a.dev.Now()
+		e.mu.Unlock()
+		c.sendReply(&proto.Reply{Time: uint32(now)}, seq)
+
 	case proto.OpQueryPhone:
 		dev := proto.DecodeDeviceReq(r)
 		line := s.lineFor(dev)
@@ -598,7 +640,7 @@ func handleRecord(c *client, a *ac, e *engine, req *request, q proto.RecordSampl
 		// next periodic update — real-time clients (apass) depend on the
 		// resume latency being small. The wire message returns to the
 		// pool; the retry checks one out again.
-		putMsg(m)
+		m.release()
 		p := &parked{c: c, a: a, op: req.op, ext: req.ext, seq: seq,
 			body: req.body, frame: req.frame, done: make(chan struct{})}
 		end := atime.Add(atime.ATime(q.Time), want)

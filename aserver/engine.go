@@ -48,6 +48,7 @@ type engine struct {
 	tasks   *taskQueue          // guarded by mu; run by the scheduler's workers
 	parks   map[*client]*parked // blocked requests on this device, by client
 	patches map[int]*patch      // pass-through patches pumped here, by src device index
+	bcast   bchannel            // broadcast channel state (broadcast.go)
 
 	// timer is this engine's registration with the sharded timer wheel,
 	// armed for the task queue's earliest deadline (under mu). queued
@@ -141,6 +142,7 @@ func (e *engine) updateLocked() {
 		e.pumpPatch(p)
 	}
 	e.resumeParked()
+	e.pumpBroadcast()
 }
 
 // pumpLineEvents forwards pending telephone line events to interested
@@ -304,7 +306,7 @@ func (e *engine) retryParked(c *client, p *parked) {
 		if res.Avail < want {
 			// Still short (e.g. the clock runs slightly slow relative to
 			// the wall-clock estimate): try again shortly.
-			putMsg(m)
+			m.release()
 			missing := want - res.Avail
 			wakeIn := time.Duration(missing)*time.Second/time.Duration(a.dev.Cfg.Rate) + time.Millisecond
 			e.addTaskLocked(wakeIn, func(time.Time) {

@@ -109,8 +109,11 @@ func (s *Server) removeClient(c *client) {
 	s.clientMu.Unlock()
 	// Discard any blocked request the client still holds; this releases
 	// its pinned buffers and its reader if it is waiting on the park.
+	// Broadcast subscriptions go with it, so the channel pump stops
+	// encoding for formats only this client wanted.
 	for _, e := range s.engines {
 		e.dropClientParks(c)
+		e.dropClientSubs(c)
 	}
 	for _, a := range c.acs {
 		s.releaseAC(a)
@@ -120,15 +123,19 @@ func (s *Server) removeClient(c *client) {
 	close(c.closed)
 }
 
-// releaseAC undoes an audio context's device-side bookkeeping.
+// releaseAC undoes an audio context's device-side bookkeeping: the
+// record refcount and any broadcast subscription.
 func (s *Server) releaseAC(a *ac) {
-	if !a.recording {
-		return
-	}
+	// Both flags are guarded by the engine lock: recording races only
+	// with this context's own (ordered) requests, but subscribed is also
+	// cleared by the pump's dead-subscriber sweep on scheduler workers.
 	e := s.engineByDev[a.devIndex]
 	e.mu.Lock()
-	e.root.RecRefCount--
-	a.recording = false
+	if a.recording {
+		e.root.RecRefCount--
+		a.recording = false
+	}
+	e.unsubscribeLocked(a)
 	e.mu.Unlock()
 }
 

@@ -157,6 +157,16 @@ type engineMetrics struct {
 	parksDiscarded *metrics.Counter
 	parkedNow      *metrics.Gauge
 	parkNs         *metrics.Histogram // park registration to release
+
+	// Broadcast fan-out (broadcast.go). Conservation, in every snapshot:
+	// bcastEncodes >= bcastChunks (one encode per chunk per live format),
+	// and exactly chunks × formats while the format set is stable.
+	bcastSubs    *metrics.Gauge   // current subscriptions on this engine
+	bcastChunks  *metrics.Counter // mix time-slices cut by the pump
+	bcastEncodes *metrics.Counter // chunk encodes (chunks × wire formats)
+	bcastMsgs    *metrics.Counter // per-subscriber enqueues that succeeded
+	bcastBytes   *metrics.Counter // wire bytes fanned out (msgs × message size)
+	bcastDrops   *metrics.Counter // enqueues refused (dead or hard-capped client)
 }
 
 func (sm *serverMetrics) newEngineMetrics(rootIndex int) *engineMetrics {
@@ -174,6 +184,12 @@ func (sm *serverMetrics) newEngineMetrics(rootIndex int) *engineMetrics {
 		parksDiscarded: reg.Counter(p + "parks_discarded"),
 		parkedNow:      reg.Gauge(p + "parked_now"),
 		parkNs:         reg.Histogram(p + "park_ns"),
+		bcastSubs:      reg.Gauge(p + "bcast_subs"),
+		bcastChunks:    reg.Counter(p + "bcast_chunks"),
+		bcastEncodes:   reg.Counter(p + "bcast_encodes"),
+		bcastMsgs:      reg.Counter(p + "bcast_msgs"),
+		bcastBytes:     reg.Counter(p + "bcast_bytes"),
+		bcastDrops:     reg.Counter(p + "bcast_drops"),
 	}
 }
 
@@ -253,6 +269,15 @@ type DeviceStats struct {
 	ParkedNow      int64                     `json:"parked_now"`
 	ParkNs         metrics.HistogramSnapshot `json:"park_ns"`
 
+	// Broadcast fan-out: BcastEncodes >= BcastChunks in every snapshot
+	// (one encode per chunk per live wire format).
+	BcastSubs    int64  `json:"bcast_subs"`
+	BcastChunks  uint64 `json:"bcast_chunks"`
+	BcastEncodes uint64 `json:"bcast_encodes"`
+	BcastMsgs    uint64 `json:"bcast_msgs"`
+	BcastBytes   uint64 `json:"bcast_bytes"`
+	BcastDrops   uint64 `json:"bcast_drops"`
+
 	LockWaitNs metrics.HistogramSnapshot `json:"lock_wait_ns"`
 	LockHoldNs metrics.HistogramSnapshot `json:"lock_hold_ns"`
 
@@ -320,6 +345,12 @@ func (s *Server) Snapshot() Snapshot {
 			ParkNs:         em.parkNs.Snapshot(),
 			LockWaitNs:     em.lockWait.Snapshot(),
 			LockHoldNs:     em.lockHold.Snapshot(),
+			BcastSubs:      em.bcastSubs.Load(),
+			BcastChunks:    em.bcastChunks.Load(),
+			BcastEncodes:   em.bcastEncodes.Load(),
+			BcastMsgs:      em.bcastMsgs.Load(),
+			BcastBytes:     em.bcastBytes.Load(),
+			BcastDrops:     em.bcastDrops.Load(),
 		}
 		e.mu.Lock()
 		io := d.Stats()

@@ -1,6 +1,10 @@
 package aserver
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
 
 // Staging pools for the dispatch hot path. Every play and record request
 // used to allocate its staging (record destination, ADPCM decompression
@@ -15,9 +19,50 @@ import "sync"
 var (
 	bytePool = sync.Pool{New: func() any { return new([]byte) }}
 	linPool  = sync.Pool{New: func() any { return new([]int16) }}
-	msgPool  = sync.Pool{New: func() any { return new([]byte) }}
+	msgPool  = sync.Pool{New: func() any { return new(wireMsg) }}
 	reqPool  = sync.Pool{New: func() any { return new([]byte) }}
 )
+
+// wireMsg is one pooled outgoing wire message. Unicast replies, errors,
+// and events are checked out with one reference and released by the
+// writer after the bytes reach the kernel — the historical lifecycle.
+// Broadcast fan-out shares one message across N subscriber queues:
+// the channel pump retains N-1 extra references before enqueueing, each
+// subscriber's writer (or teardown sweep) releases one, and the last
+// release returns the buffer to the pool. The payload bytes are
+// immutable from the moment the message is enqueued anywhere.
+//
+// owner is a static tag naming the checkout site; it travels with the
+// message so a double release (a sharing bug that would otherwise
+// surface as silent pool corruption — two clients writev-ing the same
+// buffer while a third path reuses it) panics with context instead.
+type wireMsg struct {
+	buf   []byte
+	refs  atomic.Int32
+	owner string
+}
+
+// retain adds n references; the caller already holds at least one, so
+// the count can never be observed at zero while retaining.
+func (m *wireMsg) retain(n int32) {
+	if n > 0 {
+		m.refs.Add(n)
+	}
+}
+
+// release drops one reference; the last one returns the message to the
+// pool. Releasing more times than the message was retained is a
+// refcounting bug in the caller, not a recoverable condition: the buffer
+// may already be carrying someone else's bytes, so corruption is certain
+// and we crash loudly with the checkout site instead.
+func (m *wireMsg) release() {
+	switch n := m.refs.Add(-1); {
+	case n == 0:
+		msgPool.Put(m)
+	case n < 0:
+		panic(fmt.Sprintf("aserver: wireMsg double release (owner %q, refs %d)", m.owner, n))
+	}
+}
 
 // getBytes checks out a []byte of length n.
 func getBytes(n int) *[]byte {
@@ -43,26 +88,26 @@ func getLin(n int) *[]int16 {
 
 func putLin(p *[]int16) { linPool.Put(p) }
 
-// getMsg checks out an empty marshal buffer for one outgoing message.
-// The writer goroutine returns it to the pool after the bytes reach the
-// connection's bufio layer.
-func getMsg() *[]byte {
-	p := msgPool.Get().(*[]byte)
-	*p = (*p)[:0]
-	return p
+// getMsg checks out an empty wire message holding one reference, tagged
+// with the checkout site for the double-release guard. The reference is
+// consumed by the writer goroutine (or a failed send) via release.
+func getMsg(owner string) *wireMsg {
+	m := msgPool.Get().(*wireMsg)
+	m.buf = m.buf[:0]
+	m.refs.Store(1)
+	m.owner = owner
+	return m
 }
-
-func putMsg(p *[]byte) { msgPool.Put(p) }
 
 // msgBytes grows a checked-out message buffer to exactly n bytes and
 // returns it. The record path sizes its reply message up front and lets
 // the device convert samples straight into the payload region.
-func msgBytes(p *[]byte, n int) []byte {
-	if cap(*p) < n {
-		*p = make([]byte, n)
+func msgBytes(m *wireMsg, n int) []byte {
+	if cap(m.buf) < n {
+		m.buf = make([]byte, n)
 	}
-	*p = (*p)[:n]
-	return *p
+	m.buf = m.buf[:n]
+	return m.buf
 }
 
 // getReqFrame checks out a request-body buffer of length n for the

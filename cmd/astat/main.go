@@ -85,8 +85,8 @@ func scrape(url string) (aserver.Snapshot, error) {
 
 func header() {
 	if *agg {
-		fmt.Printf("%7s %9s %9s %9s %7s %6s %6s %6s %8s %8s %9s\n",
-			"devs", "play-B/s", "rec-B/s", "sil-f/s", "under", "parks", "queued", "errs", "reqs/s", "upd/s", "lag-p99")
+		fmt.Printf("%7s %9s %9s %9s %7s %6s %6s %6s %8s %8s %9s %6s %8s\n",
+			"devs", "play-B/s", "rec-B/s", "sil-f/s", "under", "parks", "queued", "errs", "reqs/s", "upd/s", "lag-p99", "bsubs", "bmsg/s")
 		return
 	}
 	fmt.Printf("%-10s %9s %9s %9s %7s %6s %6s %6s %9s %9s\n",
@@ -180,12 +180,22 @@ func printAggregate(prev, cur aserver.Snapshot, dt time.Duration) {
 		parks += r.parks
 		queued += r.cur.ParkedNow
 	}
-	fmt.Printf("%7d %9.0f %9.0f %9.0f %7d %6d %6d %6d %8.0f %8.0f %9s\n",
+	var bsubs int64
+	var curMsgs, prevMsgs uint64
+	for _, d := range cur.Devices {
+		bsubs += d.BcastSubs
+		curMsgs += d.BcastMsgs
+	}
+	for _, d := range prev.Devices {
+		prevMsgs += d.BcastMsgs
+	}
+	fmt.Printf("%7d %9.0f %9.0f %9.0f %7d %6d %6d %6d %8.0f %8.0f %9s %6d %8.0f\n",
 		len(cur.Devices), play, rec, sil, under, parks, queued,
 		cur.ClientErrors-prev.ClientErrors,
 		float64(cur.Requests-prev.Requests)/secs,
 		float64(cur.SchedEngineRuns-prev.SchedEngineRuns)/secs,
-		ns(cur.SchedTickLagNs.Quantile(0.99)))
+		ns(cur.SchedTickLagNs.Quantile(0.99)),
+		bsubs, float64(curMsgs-prevMsgs)/secs)
 }
 
 // printAbsolute renders one snapshot's cumulative counters. -top bounds
@@ -203,6 +213,18 @@ func printAbsolute(s aserver.Snapshot) {
 		s.SchedShards, s.SchedWorkers, s.SchedEngineRuns,
 		ns(s.SchedTickLagNs.Quantile(0.50)), ns(s.SchedTickLagNs.Quantile(0.99)),
 		s.SchedBatchSize.Quantile(0.99), s.SchedOverdueTasks)
+	var bsubs int64
+	var bchunks, bencodes, bmsgs, bbytes, bdrops uint64
+	for _, d := range s.Devices {
+		bsubs += d.BcastSubs
+		bchunks += d.BcastChunks
+		bencodes += d.BcastEncodes
+		bmsgs += d.BcastMsgs
+		bbytes += d.BcastBytes
+		bdrops += d.BcastDrops
+	}
+	fmt.Printf("bcast: subs %d  chunks %d  encodes %d  msgs %d  bytes %d  drops %d\n",
+		bsubs, bchunks, bencodes, bmsgs, bbytes, bdrops)
 	if *agg {
 		if werr := conservation(s); werr != "" {
 			fmt.Fprintf(os.Stderr, "astat: WARNING: %s\n", werr)
@@ -253,6 +275,13 @@ func conservation(s aserver.Snapshot) string {
 		if d.FramesPreempted > d.FramesBuffered {
 			return fmt.Sprintf("device %d: preempted %d > buffered %d",
 				d.Index, d.FramesPreempted, d.FramesBuffered)
+		}
+		// Encode-once: a broadcast chunk is encoded at least once per live
+		// wire format. The server increments encodes before chunks, so the
+		// one-sided law holds in every snapshot, not just drained ones.
+		if d.BcastEncodes < d.BcastChunks {
+			return fmt.Sprintf("device %d: broadcast encodes %d < chunks %d",
+				d.Index, d.BcastEncodes, d.BcastChunks)
 		}
 	}
 	return ""

@@ -248,3 +248,71 @@ func (d *Device) Record(start atime.ATime, dst []byte, enc sampleconv.Encoding, 
 	r.IO.FramesRecorded += uint64(avail)
 	return RecordResult{Avail: avail, Now: now}
 }
+
+// TapMix fills dst (client encoding enc, view channel count) with the
+// device's final play mix — what the DAC consumes — starting at start,
+// clamped to frames that have already passed device time. It is the
+// read side of the server's broadcast channel: the engine taps the mix
+// once per chunk per output format and fans the encoded bytes out to
+// every subscriber by reference.
+//
+// Unlike Record it touches no record-path state (no RecRefCount, no
+// record update, no IO counters — broadcast keeps its own metrics), so
+// a device with zero recording clients can host a channel for free.
+// Frames older than the buffer window and frames past the last valid
+// playback sample (never written by any client, so the hardware region
+// is silence-backfilled) read as silence.
+func (d *Device) TapMix(start atime.ATime, dst []byte, enc sampleconv.Encoding, gainDB int) RecordResult {
+	r := d.root()
+	now := r.backend.Time()
+	r.now = now
+	vfb := enc.BytesPerSamples(1) * d.chanCnt // client frame size
+	want := len(dst) / vfb
+
+	avail := want
+	if atime.After(atime.Add(start, want), now) {
+		avail = int(atime.Sub(now, start))
+		if avail < 0 {
+			avail = 0
+		}
+	}
+	if avail == 0 {
+		return RecordResult{Avail: 0, Now: now}
+	}
+
+	q := gainQ16For(gainDB)
+	oldest := atime.Add(now, -r.bufFrames)
+	// Silence for the portion older than the buffer.
+	pre := 0
+	if atime.Before(start, oldest) {
+		pre = int(atime.Sub(oldest, start))
+		if pre > avail {
+			pre = avail
+		}
+		sampleconv.Silence(enc, dst[:pre*vfb])
+		start = atime.Add(start, pre)
+	}
+	n := avail - pre
+	// Silence for the portion past the last valid playback sample.
+	if post := int(atime.Sub(atime.Add(start, n), r.timeLastValid)); post > 0 {
+		if post > n {
+			post = n
+		}
+		sampleconv.Silence(enc, dst[(pre+n-post)*vfb:(pre+n)*vfb])
+		n -= post
+	}
+	if n > 0 {
+		out := dst[pre*vfb:]
+		a, b := r.playBuf.Region(start, n)
+		if d.parent == nil {
+			k := sampleconv.SelectKernel(enc, r.Cfg.Enc, false, q != sampleconv.GainUnity)
+			ch := r.Cfg.Channels
+			na := len(a) / r.frameBytes
+			k(out, a, na*ch, q)
+			k(out[enc.BytesPerSamples(na*ch):], b, (n-na)*ch, q)
+		} else {
+			d.blitView(a, b, out, enc, q, false, false)
+		}
+	}
+	return RecordResult{Avail: avail, Now: now}
+}

@@ -20,16 +20,20 @@ func FuzzReadMessage(f *testing.F) {
 	w.Reset()
 	(&Event{Code: EventPhoneRing, Detail: 1}).Encode(w)
 	f.Add(append([]byte(nil), w.Buf...))
+	w.Reset()
+	(&BroadcastData{Enc: 1, Seq: 5, Time: 6, Channel: 7, Data: []byte{1, 2, 3, 4}}).Encode(w)
+	f.Add(append([]byte(nil), w.Buf...))
 	f.Add([]byte{})
 	f.Add([]byte{1})
 	f.Add([]byte{1, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0x7F})
+	f.Add([]byte{MsgBroadcast, 0x81, 0, 0, 0xFF, 0xFF, 0xFF, 0x7F}) // truncated, absurd length
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Must never panic; errors are fine. Cap the declared extra length
 		// effect by construction: ReadMessage allocates extraLen*4, so
 		// reject inputs that would ask for absurd allocations the same way
 		// a production reader would be wrapped with a limit.
-		if len(data) >= 8 && data[0] == MsgReply {
+		if len(data) >= 8 && (data[0] == MsgReply || data[0] == MsgBroadcast) {
 			extra := binary.LittleEndian.Uint32(data[4:8])
 			if extra > 1<<16 {
 				return
@@ -68,14 +72,24 @@ func FuzzReadMessageDirect(f *testing.F) {
 	w.Reset()
 	(&ErrorMsg{Code: ErrDrain, Seq: 3}).Encode(w)
 	f.Add(append([]byte(nil), w.Buf...), uint16(1), 0)
+	// A broadcast chunk arriving mid-read must route out like an event,
+	// never be confused with the awaited reply.
+	w.Reset()
+	(&BroadcastData{Enc: 1, Seq: 2, Channel: 4, Data: []byte{9, 9, 9, 9}}).Encode(w)
+	f.Add(append([]byte(nil), w.Buf...), uint16(1), 8)
 	f.Fuzz(func(t *testing.T, data []byte, seq uint16, dstLen int) {
 		if dstLen < 0 || dstLen > 1<<16 {
 			return
 		}
+		if len(data) >= 8 && data[0] == MsgBroadcast {
+			if binary.LittleEndian.Uint32(data[4:8]) > 1<<16 {
+				return
+			}
+		}
 		dst := make([]byte, dstLen)
 		var m Message
 		err := ReadMessageDirect(bytes.NewReader(data), binary.LittleEndian, &m, seq, dst)
-		if err == nil && m.Reply == nil && m.Error == nil && m.Event == nil {
+		if err == nil && m.Reply == nil && m.Error == nil && m.Event == nil && m.Broadcast == nil {
 			t.Fatal("no message and no error")
 		}
 		if m.Reply != nil && len(m.Reply.Extra) > 0 && m.Reply.Seq == seq && dstLen > 0 {

@@ -57,6 +57,61 @@ func PutReplyHeader(order binary.ByteOrder, hdr []byte, p *Reply, extraLen int) 
 	order.PutUint32(hdr[12:16], p.Aux)
 }
 
+// BroadcastHeaderBytes is the fixed size of a broadcast-data header:
+//
+//	[7][enc|flags][seq:2][nunits:4][time:4][channel:4] payload...
+//
+// The payload is exactly nunits 32-bit units of sample data — broadcast
+// chunks are always cut on a 32-bit boundary, so unlike replies there is
+// no separate byte count and no pad.
+const BroadcastHeaderBytes = 16
+
+// BroadcastFlagBigEndian marks big-endian sample data in a broadcast
+// header's encoding byte (the low 7 bits carry the encoding).
+const BroadcastFlagBigEndian = 0x80
+
+// BroadcastData is one chunk of a subscribed channel's audio, pushed by
+// the server without a matching request. Seq is a per-channel chunk
+// counter (a gap means the server clamped a backlog); Time is the device
+// time of the first sample. Channel identifies the broadcast channel by
+// its device index — not by audio context id, because one encoded message
+// is shared by every subscriber of the (device, format) group and their
+// context ids differ.
+type BroadcastData struct {
+	Enc           uint8 // sample encoding (sampleconv.Encoding)
+	BigEndianData bool
+	Seq           uint16
+	Time          uint32
+	Channel       uint32 // device index of the broadcast channel
+	Data          []byte
+}
+
+// Encode appends the broadcast message to w. Data must be a multiple of
+// 4 bytes, as the server's channel pump guarantees.
+func (b *BroadcastData) Encode(w *Writer) {
+	off := len(w.Buf)
+	w.Skip(BroadcastHeaderBytes)
+	PutBroadcastHeader(w.Order, w.Buf[off:], b, len(b.Data))
+	w.Bytes(b.Data)
+}
+
+// PutBroadcastHeader writes a broadcast message's fixed 16-byte header
+// into hdr for a payload of dataLen bytes (a multiple of 4) that the
+// caller marshals in place, mirroring PutReplyHeader: the server encodes
+// the chunk straight into the pooled wire message after the header.
+func PutBroadcastHeader(order binary.ByteOrder, hdr []byte, b *BroadcastData, dataLen int) {
+	hdr[0] = MsgBroadcast
+	enc := b.Enc
+	if b.BigEndianData {
+		enc |= BroadcastFlagBigEndian
+	}
+	hdr[1] = enc
+	order.PutUint16(hdr[2:4], b.Seq)
+	order.PutUint32(hdr[4:8], uint32(dataLen/4))
+	order.PutUint32(hdr[8:12], b.Time)
+	order.PutUint32(hdr[12:16], b.Channel)
+}
+
 // ErrorMsg is a protocol error message.
 type ErrorMsg struct {
 	Code     uint8
@@ -102,12 +157,13 @@ func (e *Event) Encode(w *Writer) {
 	w.Skip(EventBytes - 24)
 }
 
-// Message is one server-to-client message: exactly one of Reply, Error, or
-// Event is non-nil.
+// Message is one server-to-client message: exactly one of Reply, Error,
+// Event, or Broadcast is non-nil.
 type Message struct {
-	Reply *Reply
-	Error *ErrorMsg
-	Event *Event
+	Reply     *Reply
+	Error     *ErrorMsg
+	Event     *Event
+	Broadcast *BroadcastData
 
 	// Inline storage used by ReadMessageInto so a reused Message reads
 	// the steady-state reply stream without allocating. The exported
@@ -115,7 +171,8 @@ type Message struct {
 	reply   Reply
 	errm    ErrorMsg
 	event   Event
-	extra   []byte               // reusable Extra backing store
+	bcast   BroadcastData
+	extra   []byte               // reusable Extra/Data backing store
 	scratch [EventBytes - 1]byte // header read buffer (kept here so it never escapes)
 }
 
@@ -156,7 +213,7 @@ func ReadMessageDirect(rd io.Reader, order binary.ByteOrder, m *Message, wantSeq
 }
 
 func readMessage(rd io.Reader, order binary.ByteOrder, m *Message, wantSeq uint16, extraDst []byte) error {
-	m.Reply, m.Error, m.Event = nil, nil, nil
+	m.Reply, m.Error, m.Event, m.Broadcast = nil, nil, nil, nil
 	if _, err := io.ReadFull(rd, m.scratch[:1]); err != nil {
 		return err
 	}
@@ -206,6 +263,33 @@ func readMessage(rd io.Reader, order binary.ByteOrder, m *Message, wantSeq uint1
 			}
 		}
 		m.Reply = &m.reply
+		return nil
+	case MsgBroadcast:
+		hdr := m.scratch[1:BroadcastHeaderBytes]
+		if _, err := io.ReadFull(rd, hdr); err != nil {
+			return err
+		}
+		m.bcast = BroadcastData{
+			Enc:           hdr[0] &^ BroadcastFlagBigEndian,
+			BigEndianData: hdr[0]&BroadcastFlagBigEndian != 0,
+			Seq:           order.Uint16(hdr[1:]),
+			Time:          order.Uint32(hdr[7:]),
+			Channel:       order.Uint32(hdr[11:]),
+		}
+		dataLen := int(order.Uint32(hdr[3:])) * 4
+		if dataLen > MaxReplyExtraBytes {
+			return fmt.Errorf("proto: broadcast data length %d exceeds maximum %d", dataLen, MaxReplyExtraBytes)
+		}
+		if dataLen > 0 {
+			if cap(m.extra) < dataLen {
+				m.extra = make([]byte, dataLen)
+			}
+			m.bcast.Data = m.extra[:dataLen]
+			if _, err := io.ReadFull(rd, m.bcast.Data); err != nil {
+				return err
+			}
+		}
+		m.Broadcast = &m.bcast
 		return nil
 	case MsgError:
 		rest := m.scratch[:EventBytes-1]

@@ -79,8 +79,14 @@ const (
 	OpQueryExtension     = 35
 	OpListExtensions     = 36
 	OpKillClient         = 37
-	MaxOpcode            = 37
 	NumRequests          = 37 // "There are 37 requests in the AudioFile protocol."
+
+	// Broadcast-channel extension requests (not in Table 1): subscribe an
+	// audio context to the server-side broadcast of its device's play mix.
+	OpSubscribe   = 38
+	OpUnsubscribe = 39
+
+	MaxOpcode = 39
 )
 
 // RequestName maps an opcode to its protocol name.
@@ -122,6 +128,8 @@ var RequestName = map[uint8]string{
 	OpQueryExtension:     "QueryExtension",
 	OpListExtensions:     "ListExtensions",
 	OpKillClient:         "KillClient",
+	OpSubscribe:          "Subscribe",
+	OpUnsubscribe:        "Unsubscribe",
 }
 
 // Error codes carried in error messages.
@@ -160,6 +168,10 @@ var ErrorName = map[uint8]string{
 const (
 	MsgError = 0
 	MsgReply = 1
+	// MsgBroadcast heads an unsolicited broadcast-data message (a chunk
+	// of a subscribed channel's audio). Chosen above the event code range
+	// so pre-extension readers never see it.
+	MsgBroadcast = 7
 )
 
 // Event codes. "Only five event types are currently defined: four for

@@ -27,8 +27,12 @@ func TestRequestTableComplete(t *testing.T) {
 			t.Errorf("opcode %d has no name", op)
 		}
 	}
-	if len(RequestName) != 37 {
-		t.Errorf("RequestName has %d entries, want 37", len(RequestName))
+	// Table 1 plus the broadcast-channel extension pair.
+	if len(RequestName) != MaxOpcode {
+		t.Errorf("RequestName has %d entries, want %d", len(RequestName), MaxOpcode)
+	}
+	if OpSubscribe <= NumRequests || OpUnsubscribe <= NumRequests {
+		t.Error("extension opcodes collide with Table 1")
 	}
 }
 

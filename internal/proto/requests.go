@@ -121,6 +121,29 @@ func AppendFreeAC(w *Writer, ac uint32) error {
 	return w.EndRequest(off)
 }
 
+// --- Subscribe / Unsubscribe (broadcast-channel extension) ---
+
+// AppendSubscribe appends a Subscribe request: the audio context joins
+// its device's broadcast channel and starts receiving BroadcastData
+// messages in the context's encoding. The reply Time is the device time
+// of the subscription's first chunk.
+func AppendSubscribe(w *Writer, ac uint32) error {
+	off := w.BeginRequest(OpSubscribe, 0)
+	w.U32(ac)
+	return w.EndRequest(off)
+}
+
+// AppendUnsubscribe appends an Unsubscribe request for an audio context.
+func AppendUnsubscribe(w *Writer, ac uint32) error {
+	off := w.BeginRequest(OpUnsubscribe, 0)
+	w.U32(ac)
+	return w.EndRequest(off)
+}
+
+// DecodeACReq parses a body that is a single audio-context id: FreeAC,
+// Subscribe, Unsubscribe.
+func DecodeACReq(r *Reader) uint32 { return r.U32() }
+
 // --- PlaySamples / RecordSamples ---
 
 // PlaySamplesReq plays sample data at a device time. Flags travel in the

@@ -62,6 +62,17 @@ func checkConservation(t *testing.T, s aserver.Snapshot) {
 			t.Errorf("device %d: parks started %d != completed %d + discarded %d",
 				d.Index, d.ParksStarted, d.ParksCompleted, d.ParksDiscarded)
 		}
+		// Broadcast encode-once: each chunk is encoded at least once per
+		// live wire format, never zero (a chunk with no encodes would mean
+		// the pump cut time-slices for nobody). One-sided because the
+		// format population can change between chunks.
+		if d.BcastChunks > 0 && d.BcastEncodes < d.BcastChunks {
+			t.Errorf("device %d: broadcast encodes %d < chunks %d",
+				d.Index, d.BcastEncodes, d.BcastChunks)
+		}
+		if d.BcastSubs != 0 {
+			t.Errorf("device %d: %d subscriptions outstanding after drain", d.Index, d.BcastSubs)
+		}
 	}
 	dispatched := s.DispatchPlayNs.Count + s.DispatchRecordNs.Count +
 		s.DispatchGetTimeNs.Count + s.DispatchControlNs.Count
