@@ -8,7 +8,9 @@ import (
 // server stream onto a private queue, interspersed with replies on the
 // same connection.
 
-// Queued modes for EventsQueued.
+// Queued modes for EventsQueued. Polling is a flush boundary (see
+// pollMessage), so AfterReading and AfterFlush both drain the output
+// buffer before probing; only QueuedAlready is guaranteed wire-silent.
 const (
 	QueuedAlready      = 0 // only count events already read
 	QueuedAfterReading = 1 // also read anything available without blocking

@@ -85,10 +85,13 @@ func (c *Conn) readMessage() (*proto.Message, error) {
 }
 
 // pollMessage reads one message if any data is ready, without blocking
-// for more than a millisecond for the first byte.
+// for more than a millisecond for the first byte. Polling is a flush
+// boundary, like awaiting a reply: any write-combined requests still in
+// the output buffer go to the wire first (in one write), so a client
+// can never poll for the effect of a request it has not yet sent.
 func (c *Conn) pollMessage() (*proto.Message, bool, error) {
-	if c.ioErr != nil {
-		return nil, false, c.ioErr
+	if err := c.flushLocked(); err != nil {
+		return nil, false, err
 	}
 	if err := c.conn.SetReadDeadline(time.Now().Add(time.Millisecond)); err != nil {
 		// A transport that cannot arm a deadline would turn the probe

@@ -1,0 +1,122 @@
+package aserver
+
+import (
+	"bufio"
+	"encoding/binary"
+	"testing"
+
+	"audiofile/internal/proto"
+)
+
+// Batching throughput benchmarks. BenchmarkSmallOpFlood is the headline
+// A/B: the full server path (framing, dispatch, reply egress) under a
+// pipelined small-op flood, with and without batching. Both are
+// allocation gates: the steady state must not allocate per request.
+
+// BenchmarkSmallOpFlood pumps pipelined bursts of GetTimes and 64-byte
+// plays through a real connection (handshake, reader goroutine, writer
+// goroutine) and reads every reply. One benchmark iteration is one
+// request, so ops/sec compares directly across the batch modes.
+func BenchmarkSmallOpFlood(b *testing.B) {
+	modes := []struct {
+		name string
+		mode BatchMode
+	}{
+		{"batch=auto", BatchAuto},
+		{"batch=off", BatchOff},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			srv, clk := batchTestServer(b, m.mode)
+			clk.Advance(4096)
+			srv.Sync()
+			conn := srv.DialPipe()
+			defer conn.Close()
+			br := bufio.NewReader(conn)
+			handshake(b, conn, br)
+
+			w := proto.Writer{Order: binary.LittleEndian}
+			if err := proto.AppendCreateAC(&w, proto.CreateACReq{AC: 1, Device: 0}); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := conn.Write(w.Buf); err != nil {
+				b.Fatal(err)
+			}
+
+			// One pipelined burst: half GetTimes, half 64-byte plays at
+			// the frozen device time (mixed in place, never parked).
+			const burst = 32
+			w.Reset()
+			data := make([]byte, 64)
+			for i := 0; i < burst/2; i++ {
+				if err := proto.AppendDeviceReq(&w, proto.OpGetTime, 0); err != nil {
+					b.Fatal(err)
+				}
+				if err := proto.AppendPlaySamples(&w, proto.PlaySamplesReq{
+					AC: 1, Time: 4096, Data: data,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			buf := w.Buf
+
+			var msg proto.Message
+			b.ReportAllocs()
+			b.ResetTimer()
+			for done := 0; done < b.N; done += burst {
+				if _, err := conn.Write(buf); err != nil {
+					b.Fatal(err)
+				}
+				for i := 0; i < burst; i++ {
+					if err := proto.ReadMessageInto(br, binary.LittleEndian, &msg); err != nil {
+						b.Fatal(err)
+					}
+					if msg.Reply == nil {
+						b.Fatalf("want reply, got %+v", msg)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDispatchBatch isolates the dispatch layer: sixteen GetTimes
+// served as one coalesced group (one lock acquisition, one staged
+// message) versus sixteen standalone dispatches (a lock and a wire
+// message each). One iteration is one request.
+func BenchmarkDispatchBatch(b *testing.B) {
+	body := make([]byte, 4) // device 0 in either byte order
+
+	b.Run("group16", func(b *testing.B) {
+		srv, c, clk, cleanup := benchServer(b)
+		defer cleanup()
+		clk.Advance(4096)
+		e := srv.engineByDev[0]
+		run := make([]runFrame, 16)
+		for i := range run {
+			run[i] = runFrame{op: proto.OpGetTime, frame: &body}
+		}
+		req := &request{c: c}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i += len(run) {
+			srv.dispatchHotGroup(c, e, run, req)
+			drainOut(c)
+		}
+	})
+
+	b.Run("single16", func(b *testing.B) {
+		srv, c, clk, cleanup := benchServer(b)
+		defer cleanup()
+		clk.Advance(4096)
+		req := &request{c: c, op: proto.OpGetTime, body: body}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i += 16 {
+			for k := 0; k < 16; k++ {
+				srv.dispatchHot(req)
+			}
+			drainOut(c)
+		}
+	})
+}

@@ -1,0 +1,248 @@
+package aserver
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"audiofile/internal/netsim"
+	"audiofile/internal/proto"
+	"audiofile/internal/vdev"
+)
+
+// Batching correctness: the coalesced ingress path (frameMore +
+// dispatchRun + staged egress) must be observationally identical to the
+// one-at-a-time path — same replies, same bytes, same per-connection
+// FIFO order — under pipelined input, arbitrary packet boundaries, and
+// parks that suspend a run in the middle.
+
+// batchTestServer builds a one-codec server on a manual clock with the
+// given batching mode.
+func batchTestServer(t testing.TB, mode BatchMode) (*Server, *vdev.ManualClock) {
+	t.Helper()
+	clk := vdev.NewManualClock(8000)
+	srv, err := New(Options{
+		Devices:  []DeviceSpec{{Kind: "codec", Clock: clk}},
+		Logf:     func(string, ...any) {},
+		Batching: mode,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv, clk
+}
+
+// handshake runs the little-endian setup exchange: the request goes out
+// on w (which may fragment it), the reply comes back on r.
+func handshake(t testing.TB, w io.Writer, r io.Reader) {
+	t.Helper()
+	sr := proto.SetupRequest{ByteOrder: proto.LittleEndianOrder,
+		Major: proto.ProtocolMajor, Minor: proto.ProtocolMinor}
+	if err := sr.Send(w); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := proto.ReadSetupReply(r, binary.LittleEndian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Success {
+		t.Fatalf("setup refused: %s", rep.Reason)
+	}
+}
+
+// TestBatchParkMidRunFIFO pipelines one write carrying a control op, a
+// play that parks beyond the buffer horizon, and a tail of GetTimes.
+// The whole burst lands in the framing buffer at once, so the batching
+// reader coalesces it into a single ingress run; the park must suspend
+// that run — no reply for anything behind the parked play until it
+// resolves — and the replies must come back in request order.
+func TestBatchParkMidRunFIFO(t *testing.T) {
+	srv, clk := batchTestServer(t, BatchAuto)
+	conn := srv.DialPipe()
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	handshake(t, conn, br)
+
+	w := proto.Writer{Order: binary.LittleEndian}
+	// seq 1: CreateAC — a control round trip at the head of the run; the
+	// hot requests behind it must see the context it creates.
+	if err := proto.AppendCreateAC(&w, proto.CreateACReq{AC: 1, Device: 0}); err != nil {
+		t.Fatal(err)
+	}
+	// seq 2: a play whose tail lies past the ~4 s buffer horizon — parks.
+	if err := proto.AppendPlaySamples(&w, proto.PlaySamplesReq{
+		AC: 1, Time: 40000, Data: make([]byte, 64),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// seq 3..6: GetTimes queued behind the park.
+	for i := 0; i < 4; i++ {
+		if err := proto.AppendDeviceReq(&w, proto.OpGetTime, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := conn.Write(w.Buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// While the head of the run is parked, the connection must be silent:
+	// answering the GetTimes now would reorder the reply stream.
+	if err := conn.SetReadDeadline(time.Now().Add(100 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := br.ReadByte(); err == nil {
+		t.Fatal("got a reply while the head of the run was parked")
+	} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Fatal(err)
+	}
+	if err := conn.SetReadDeadline(time.Time{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Advance past the play's window and run an update cycle: the park
+	// resolves, then the suspended tail of the run dispatches.
+	clk.Advance(48000)
+	srv.Sync()
+
+	var msg proto.Message
+	for want := uint16(2); want <= 6; want++ {
+		if err := proto.ReadMessageInto(br, binary.LittleEndian, &msg); err != nil {
+			t.Fatal(err)
+		}
+		if msg.Reply == nil {
+			t.Fatalf("want reply seq %d, got %+v", want, msg)
+		}
+		if msg.Reply.Seq != want {
+			t.Fatalf("reply out of order: got seq %d, want %d", msg.Reply.Seq, want)
+		}
+	}
+}
+
+// batchScript turns fuzz bytes into a pipelined request stream over a
+// small op alphabet: valid and invalid hot ops (staged replies, staged
+// errors, standalone error paths), control ops that force a run flush
+// (round-trip Sync, reply-less NoOp), and — keyed off the script length
+// so both servers see the same stream — a trailing partial header or a
+// malformed one (length under a unit), which must stop the connection at
+// the same point on both paths.
+func batchScript(script []byte) []byte {
+	w := proto.Writer{Order: binary.LittleEndian}
+	proto.AppendCreateAC(&w, proto.CreateACReq{AC: 1, Device: 0}) //nolint:errcheck
+	for _, b := range script {
+		switch b % 7 {
+		case 0:
+			proto.AppendDeviceReq(&w, proto.OpGetTime, 0) //nolint:errcheck
+		case 1: // unknown device: standalone dispatch, error reply
+			proto.AppendDeviceReq(&w, proto.OpGetTime, 99) //nolint:errcheck
+		case 2:
+			data := make([]byte, int(b>>3))
+			for i := range data {
+				data[i] = byte(i*3) + b
+			}
+			proto.AppendPlaySamples(&w, proto.PlaySamplesReq{ //nolint:errcheck
+				AC: 1, Time: 4096, Data: data})
+		case 3: // unknown AC: standalone dispatch, error reply
+			proto.AppendPlaySamples(&w, proto.PlaySamplesReq{ //nolint:errcheck
+				AC: 9, Time: 4096, Data: []byte{1, 2, 3, 4}})
+		case 4: // non-blocking record of an already-captured window
+			proto.AppendRecordSamples(&w, proto.RecordSamplesReq{ //nolint:errcheck
+				AC: 1, Time: 0, NBytes: uint32(b >> 3), Flags: proto.SampleFlagNoBlock})
+		case 5: // round-trip control op in the middle of a run
+			proto.AppendEmptyReq(&w, proto.OpSyncConnection, 0) //nolint:errcheck
+		case 6: // reply-less control op
+			proto.AppendEmptyReq(&w, proto.OpNoOperation, 0) //nolint:errcheck
+		}
+	}
+	switch len(script) % 3 {
+	case 1: // partial trailing header: never framed, dies with the conn
+		w.Buf = append(w.Buf, proto.OpGetTime, 0)
+	case 2: // malformed header (length 0 < one unit): reader stops here
+		w.Buf = append(w.Buf, 0xff, 0, 0, 0)
+	}
+	return w.Buf
+}
+
+// batchReplyStream runs one script against a fresh server in the given
+// batching mode and returns the complete reply byte stream. seed != 0
+// fragments the client's writes into tiny chunks at seeded-random
+// boundaries, so the batching reader sees every possible split of the
+// same logical stream.
+func batchReplyStream(t *testing.T, mode BatchMode, stream []byte, seed int64) []byte {
+	t.Helper()
+	srv, clk := batchTestServer(t, mode)
+	// Give device time a head start so the script's record windows are
+	// already captured (identically on both servers: the manual clock
+	// never moves again).
+	clk.Advance(4096)
+	srv.Sync()
+
+	ln, err := srv.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	tc := nc.(*net.TCPConn)
+	var wc io.Writer = tc
+	if seed != 0 {
+		wc = netsim.NewFaultConn(tc, netsim.FaultConfig{
+			Seed: seed, FragmentWrites: true, MaxFragment: 5})
+	}
+	br := bufio.NewReader(tc)
+	handshake(t, wc, br)
+	if _, err := wc.Write(stream); err != nil {
+		t.Fatal(err)
+	}
+	// Half-close: the server reader sees EOF once it has consumed every
+	// frame, tears the session down, and the writer flushes the tail.
+	if err := tc.CloseWrite(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.SetReadDeadline(time.Now().Add(10 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	replies, err := io.ReadAll(br)
+	if err != nil {
+		t.Fatalf("reading reply stream: %v", err)
+	}
+	return replies
+}
+
+// FuzzBatchFraming feeds the same pipelined request stream to a batching
+// server (through fragmented writes, so runs start at arbitrary packet
+// boundaries) and a one-at-a-time server, and requires the two reply
+// streams to agree byte for byte. Per-connection FIFO plus deterministic
+// devices make the full reply stream — replies, staged concatenations,
+// error messages, and the teardown point — a complete observational
+// fingerprint of the dispatch path.
+func FuzzBatchFraming(f *testing.F) {
+	f.Add([]byte{}, int64(1))
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6}, int64(2))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 16, 24, 32}, int64(3))
+	f.Add([]byte{2, 18, 26, 2, 5, 0, 0, 6, 4, 12, 3, 1}, int64(4))
+	f.Add(bytes.Repeat([]byte{0}, 64), int64(5))
+	f.Add([]byte{4, 20, 36, 52, 5, 4, 0, 2}, int64(6))
+	f.Fuzz(func(t *testing.T, script []byte, seed int64) {
+		if len(script) > 256 {
+			script = script[:256]
+		}
+		if seed == 0 {
+			seed = 1
+		}
+		stream := batchScript(script)
+		want := batchReplyStream(t, BatchOff, stream, 0)
+		got := batchReplyStream(t, BatchAuto, stream, seed)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("batched reply stream differs from one-at-a-time:\nbatched   %d bytes: %x\nunbatched %d bytes: %x",
+				len(got), got, len(want), want)
+		}
+	})
+}

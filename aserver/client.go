@@ -106,6 +106,13 @@ type client struct {
 	acs        map[uint32]*ac
 	eventMasks map[int]uint32 // guarded by Server.clientMu
 
+	// stage coalesces small replies generated while dispatching a run
+	// (stagedReply/flushStage). Touched only by the goroutine inside
+	// dispatchHotGroup and always flushed before the group's engine lock
+	// drops, so it is empty between groups and teardown never finds bytes
+	// here.
+	stage *wireMsg
+
 	removed bool // loop-side flag: removeClient already ran
 }
 
@@ -272,16 +279,35 @@ func readBodyDirect(br *bufio.Reader, conn io.Reader, body []byte) error {
 	return nil
 }
 
+// runFrame is one framed request in a coalesced ingress run: the header
+// fields plus the pooled frame holding the body.
+type runFrame struct {
+	op, ext uint8
+	frame   *[]byte
+}
+
+// maxRunLen bounds how many requests one ingress run carries. The run
+// slice is allocated once per connection; the bound also caps how long a
+// group can hold an engine lock.
+const maxRunLen = 32
+
 // reader frames requests off the wire and dispatches them: hot ops
 // inline to the owning engine, control ops through the loop. It reads
 // one request ahead of a blocked (parked) request — the read keeps
 // disconnect detection live while parked; the barrier before dispatch
 // keeps per-connection FIFO order.
+//
+// With batching on, after the blocking read frames one request the
+// reader peeks the framing buffer and frames every further request
+// already sitting whole in it (frameMore); the run then dispatches as a
+// unit, with consecutive same-engine hot ops served under one lock
+// acquisition (dispatchRun).
 func (c *client) reader() {
 	br := bufio.NewReaderSize(c.conn, readerBufBytes)
 	var hdr [4]byte
-	req := &request{c: c} // reused across hot requests; parks copy out of it
-	var await *parked     // outstanding blocked request, if any
+	req := &request{c: c}              // reused across hot requests; parks copy out of it
+	var await *parked                  // outstanding blocked request, if any
+	run := make([]runFrame, 0, maxRunLen)
 	for {
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			break
@@ -296,54 +322,150 @@ func (c *client) reader() {
 			c.s.putFrame(framep)
 			break
 		}
-		if await != nil {
-			select {
-			case <-await.done:
-				await = nil
-			case <-c.closed:
-				c.s.putFrame(framep)
-				return
-			case <-c.s.done:
-				c.s.putFrame(framep)
-				return
-			}
+		run = append(run[:0], runFrame{op, ext, framep})
+		if c.s.batching {
+			run = c.frameMore(br, run)
 		}
+		cont, p := c.dispatchRun(run, await, req)
+		if !cont {
+			return
+		}
+		await = p
 		if c.dead.Load() {
-			c.s.putFrame(framep)
 			break
 		}
-		req.op, req.ext, req.body, req.frame, req.done = op, ext, *framep, framep, nil
-		if hotOp(op) {
-			await = c.s.dispatchHot(req)
-			if await == nil {
-				c.s.putFrame(framep)
-			}
-			// On park the frame now belongs to the parked state; it
-			// returns to the pool when the park finishes.
-			continue
-		}
-		req.done = make(chan struct{})
-		select {
-		case c.s.reqCh <- req:
-		case <-c.s.done:
-			c.s.putFrame(framep)
-			return
-		case <-c.closed:
-			c.s.putFrame(framep)
-			return
-		}
-		select {
-		case <-req.done:
-		case <-c.s.stopped:
-			c.s.putFrame(framep)
-			return
-		}
-		c.s.putFrame(framep)
 	}
 	select {
 	case c.s.unregCh <- c:
 	case <-c.s.done:
 	case <-c.closed:
+	}
+}
+
+// frameMore extends run with requests already sitting whole in the
+// framing buffer. It never blocks: a header is only consumed once its
+// complete body is also buffered, so a partial tail stays for the main
+// loop's blocking path to finish reading. A malformed header (length
+// under one unit) is left unconsumed too — the main loop rejects it on
+// its next iteration, after the current run has been dispatched, exactly
+// where the one-at-a-time path would have stopped.
+func (c *client) frameMore(br *bufio.Reader, run []runFrame) []runFrame {
+	for len(run) < maxRunLen && br.Buffered() >= 4 {
+		hdr, err := br.Peek(4)
+		if err != nil {
+			break
+		}
+		n := int(c.order.Uint16(hdr[2:])) * 4
+		if n < 4 || br.Buffered() < n {
+			break
+		}
+		op, ext := hdr[0], hdr[1]
+		br.Discard(4) //nolint:errcheck — peeked above
+		framep := c.s.getFrame(n - 4)
+		if _, err := io.ReadFull(br, *framep); err != nil {
+			// Unreachable — the body is buffered — but never drop a frame.
+			c.s.putFrame(framep)
+			break
+		}
+		run = append(run, runFrame{op, ext, framep})
+	}
+	return run
+}
+
+// dispatchRun dispatches a framed run in order: control ops round-trip
+// through the loop one at a time, hot ops the shallow decode can place
+// are grouped by engine and served under one lock acquisition, and
+// everything else dispatches standalone. A park suspends the run at the
+// parked request; the remaining frames dispatch after the park resolves,
+// preserving per-connection FIFO order. It returns cont=false when the
+// connection is being torn down (the caller returns without the
+// unregister handshake, as the one-at-a-time path did) and the
+// outstanding park, if any.
+func (c *client) dispatchRun(run []runFrame, await *parked, req *request) (cont bool, _ *parked) {
+	i := 0
+	for i < len(run) {
+		if await != nil {
+			select {
+			case <-await.done:
+				await = nil
+			case <-c.closed:
+				c.putFrames(run[i:])
+				return false, nil
+			case <-c.s.done:
+				c.putFrames(run[i:])
+				return false, nil
+			}
+		}
+		if c.dead.Load() {
+			c.putFrames(run[i:])
+			return true, nil
+		}
+		rf := run[i]
+		if !hotOp(rf.op) {
+			req.op, req.ext, req.body, req.frame = rf.op, rf.ext, *rf.frame, rf.frame
+			req.done = make(chan struct{})
+			select {
+			case c.s.reqCh <- req:
+			case <-c.s.done:
+				c.putFrames(run[i:])
+				return false, nil
+			case <-c.closed:
+				c.putFrames(run[i:])
+				return false, nil
+			}
+			select {
+			case <-req.done:
+			case <-c.s.stopped:
+				c.putFrames(run[i:])
+				return false, nil
+			}
+			c.s.putFrame(rf.frame)
+			i++
+			continue
+		}
+		// Group consecutive hot requests the shallow decode places on the
+		// same engine. hotEngine is evaluated here — after any control
+		// round trip earlier in the run — so AC mutations ordered by those
+		// round trips are visible.
+		var e *engine
+		if c.s.batching {
+			e = c.s.hotEngine(c, rf)
+		}
+		j := i + 1
+		for e != nil && j < len(run) && hotOp(run[j].op) && c.s.hotEngine(c, run[j]) == e {
+			j++
+		}
+		if e == nil || j == i+1 {
+			// Standalone: unknown destination (the dispatcher produces the
+			// proper error reply) or a group of one.
+			req.op, req.ext, req.body, req.frame, req.done = rf.op, rf.ext, *rf.frame, rf.frame, nil
+			p := c.s.dispatchHot(req)
+			if p == nil {
+				c.s.putFrame(rf.frame)
+			}
+			// On park the frame now belongs to the parked state; it
+			// returns to the pool when the park finishes.
+			await = p
+			i++
+			continue
+		}
+		consumed, p := c.s.dispatchHotGroup(c, e, run[i:j], req)
+		for k := i; k < i+consumed; k++ {
+			if p != nil && k == i+consumed-1 {
+				break // the parked request's frame belongs to the park now
+			}
+			c.s.putFrame(run[k].frame)
+		}
+		await = p
+		i += consumed
+	}
+	return true, await
+}
+
+// putFrames returns a run's remaining pooled frames on an abort path.
+func (c *client) putFrames(run []runFrame) {
+	for _, rf := range run {
+		c.s.putFrame(rf.frame)
 	}
 }
 
@@ -637,6 +759,67 @@ func (c *client) sendError(code uint8, badValue uint32, op uint8, seq uint16) {
 	w := proto.Writer{Order: c.order, Buf: m.buf}
 	e.Encode(&w)
 	m.buf = w.Buf
+	c.send(m)
+}
+
+// stageFlushBytes caps the staging buffer: a group staging more than
+// this flushes mid-run, so one pooled message never grows without bound.
+const stageFlushBytes = 4096
+
+// stageMsg returns the staging message, checking one out lazily so a
+// group whose replies all go direct (record replies, suppressed play
+// acks) costs nothing here.
+func (c *client) stageMsg() *wireMsg {
+	if c.stage == nil {
+		c.stage = getMsg("staged")
+	}
+	return c.stage
+}
+
+// stagedReply appends a reply to the staging buffer instead of queueing
+// it as its own message; flushStage hands the whole batch to the writer
+// as one message. Only fixed-header replies come through here — anything
+// carrying Extra uses sendReply (after a flush, to keep reply order).
+func (c *client) stagedReply(p *proto.Reply, seq uint16) {
+	p.Seq = seq
+	m := c.stageMsg()
+	w := proto.Writer{Order: c.order, Buf: m.buf}
+	p.Encode(&w)
+	m.buf = w.Buf
+	if len(m.buf) >= stageFlushBytes {
+		c.flushStage()
+	}
+}
+
+// stagedError is sendError's staging twin.
+func (c *client) stagedError(code uint8, badValue uint32, op uint8, seq uint16) {
+	c.s.sm.clientErrors.Inc()
+	e := proto.ErrorMsg{Code: code, Seq: seq, BadValue: badValue, MajorOp: op}
+	m := c.stageMsg()
+	w := proto.Writer{Order: c.order, Buf: m.buf}
+	e.Encode(&w)
+	m.buf = w.Buf
+	if len(m.buf) >= stageFlushBytes {
+		c.flushStage()
+	}
+}
+
+// flushStage queues the staged replies as one message: one pooled
+// buffer, one writev iovec, at most one writer wakeup for the whole run.
+// It goes through the ordinary send path, so the byte budget and
+// eviction accounting see staged bytes exactly like any other reply.
+func (c *client) flushStage() {
+	m := c.stage
+	if m == nil {
+		return
+	}
+	c.stage = nil
+	if len(m.buf) == 0 {
+		m.release()
+		return
+	}
+	c.s.sm.stagedBytes.Add(uint64(len(m.buf)))
+	c.s.sm.stagedFlushes.Inc()
 	c.send(m)
 }
 

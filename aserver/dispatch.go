@@ -34,7 +34,141 @@ func (s *Server) dispatchHot(req *request) *parked {
 	req.c.lastActive.Store(t0.UnixNano())
 	p := s.dispatchHotInner(req)
 	s.sm.dispatchFor(req.op).Observe(time.Since(t0).Nanoseconds())
+	// A standalone dispatch is a batch of one. Ordered after the request
+	// count (incremented in Inner), so DispatchBatch.Sum <= Requests in
+	// every live snapshot and == once idle.
+	s.sm.dispatchBatch.Observe(1)
 	return p
+}
+
+// hotEngine shallow-decodes just enough of a hot request to name the
+// engine that will serve it: the leading u32 of the body is the device
+// (GetTime) or the AC id (play/record). nil means the batcher cannot
+// place the request — short body, unknown device or AC — and it must
+// dispatch standalone, which produces exactly the error replies the
+// unbatched path would. Safe on the reader goroutine: c.acs is only
+// mutated during control round trips, which are ordered against it.
+func (s *Server) hotEngine(c *client, rf runFrame) *engine {
+	body := *rf.frame
+	if len(body) < 4 {
+		return nil
+	}
+	v := c.order.Uint32(body)
+	if rf.op == proto.OpGetTime {
+		if !s.validDevice(v) {
+			return nil
+		}
+		return s.engineByDev[v]
+	}
+	a := c.acs[v]
+	if a == nil {
+		return nil
+	}
+	return s.engineByDev[a.devIndex]
+}
+
+// dispatchHotGroup serves a run of hot requests that hotEngine placed on
+// the same engine under ONE lock acquisition, with one time.Now() and
+// batched metrics adds, staging small replies into one outgoing message.
+// It consumes entries in order until a request parks (the park ends the
+// group; the caller retries the rest after await) and reports how many
+// it consumed plus the park, if any. The parked entry is always the last
+// consumed one, and its frame belongs to the park; the caller recycles
+// the others. req is the reader's scratch request, reused per entry.
+func (s *Server) dispatchHotGroup(c *client, e *engine, run []runFrame, req *request) (int, *parked) {
+	t0 := time.Now()
+	c.lastActive.Store(t0.UnixNano())
+	var park *parked
+	var playBytes uint64
+	var nPlay, nRec, nTime uint64
+	consumed := 0
+	acq := e.m.lockTimed(&e.mu)
+	for _, rf := range run {
+		consumed++
+		seq := uint16(c.seq.Add(1))
+		req.op, req.ext, req.body, req.frame, req.done = rf.op, rf.ext, *rf.frame, rf.frame, nil
+		r := proto.NewReader(c.order, req.body)
+		switch rf.op {
+		case proto.OpGetTime:
+			nTime++
+			dev := proto.DecodeDeviceReq(r)
+			// hotEngine already validated and placed dev; re-checked so the
+			// two decode paths cannot drift.
+			if !s.validDevice(dev) || s.engineByDev[dev] != e {
+				c.stagedError(proto.ErrDevice, dev, rf.op, seq)
+				continue
+			}
+			c.stagedReply(&proto.Reply{Time: uint32(s.devices[dev].Time())}, seq)
+
+		case proto.OpPlaySamples:
+			nPlay++
+			q := proto.DecodePlaySamples(r, rf.ext)
+			if r.Err != nil {
+				c.stagedError(proto.ErrLength, 0, rf.op, seq)
+				continue
+			}
+			a := c.acs[q.AC]
+			if a == nil {
+				c.stagedError(proto.ErrAC, q.AC, rf.op, seq)
+				continue
+			}
+			playBytes += uint64(len(q.Data))
+			e.m.playChunk.Observe(int64(len(q.Data)))
+			if p := handlePlay(c, a, req, q, seq, true); p != nil {
+				e.registerParkLocked(c, p)
+				park = p
+			}
+
+		case proto.OpRecordSamples:
+			nRec++
+			q := proto.DecodeRecordSamples(r, rf.ext)
+			if r.Err != nil {
+				c.stagedError(proto.ErrLength, 0, rf.op, seq)
+				continue
+			}
+			a := c.acs[q.AC]
+			if a == nil {
+				c.stagedError(proto.ErrAC, q.AC, rf.op, seq)
+				continue
+			}
+			// finishRecordReply queues its reply directly; anything staged
+			// so far must leave first to preserve reply order.
+			c.flushStage()
+			if p := handleRecord(c, a, e, req, q, seq); p != nil {
+				e.registerParkLocked(c, p)
+				park = p
+			}
+		}
+		if park != nil {
+			break
+		}
+	}
+	// The stage leaves before the lock drops: once e.mu is released a
+	// worker may finish the park and send its reply, which must queue
+	// after every reply staged ahead of it.
+	c.flushStage()
+	if playBytes != 0 {
+		e.m.playBytes.Add(playBytes)
+	}
+	e.m.unlockTimed(&e.mu, acq)
+	k := int64(consumed)
+	s.requestCount.Add(uint64(consumed))
+	s.sm.dispatchBatch.Observe(k)
+	e.m.dispatchBatch.Observe(k)
+	// Per-request latency: the group's wall time amortized over its
+	// members, observed per op class so the requests == Σ dispatch counts
+	// law still holds.
+	per := time.Since(t0).Nanoseconds() / k
+	if nPlay != 0 {
+		s.sm.dispatchPlay.ObserveN(per, nPlay)
+	}
+	if nRec != 0 {
+		s.sm.dispatchRecord.ObserveN(per, nRec)
+	}
+	if nTime != 0 {
+		s.sm.dispatchGetTime.ObserveN(per, nTime)
+	}
+	return consumed, park
 }
 
 func (s *Server) dispatchHotInner(req *request) *parked {
@@ -53,6 +187,7 @@ func (s *Server) dispatchHotInner(req *request) *parked {
 		acq := e.m.lockTimed(&e.mu)
 		t := uint32(s.devices[dev].Time())
 		e.m.unlockTimed(&e.mu, acq)
+		e.m.dispatchBatch.Observe(1)
 		c.sendReply(&proto.Reply{Time: t}, seq)
 
 	case proto.OpPlaySamples:
@@ -73,11 +208,12 @@ func (s *Server) dispatchHotInner(req *request) *parked {
 		e.m.playBytes.Add(uint64(len(q.Data)))
 		e.m.playChunk.Observe(int64(len(q.Data)))
 		acq := e.m.lockTimed(&e.mu)
-		p := handlePlay(c, a, req, q, seq)
+		p := handlePlay(c, a, req, q, seq, false)
 		if p != nil {
 			e.registerParkLocked(c, p)
 		}
 		e.m.unlockTimed(&e.mu, acq)
+		e.m.dispatchBatch.Observe(1)
 		return p
 
 	case proto.OpRecordSamples:
@@ -98,6 +234,7 @@ func (s *Server) dispatchHotInner(req *request) *parked {
 			e.registerParkLocked(c, p)
 		}
 		e.m.unlockTimed(&e.mu, acq)
+		e.m.dispatchBatch.Observe(1)
 		return p
 	}
 	return nil
@@ -110,6 +247,9 @@ func (s *Server) dispatchControl(req *request) {
 	req.c.lastActive.Store(t0.UnixNano())
 	s.dispatchControlInner(req)
 	s.sm.dispatchControl.Observe(time.Since(t0).Nanoseconds())
+	// Control ops always dispatch as a batch of one (ordered after the
+	// request count, as in dispatchHot).
+	s.sm.dispatchBatch.Observe(1)
 }
 
 func (s *Server) dispatchControlInner(req *request) {
@@ -561,14 +701,16 @@ func (a *ac) clientFrameBytes() int {
 }
 
 // handlePlay runs under the owning engine's lock. It returns a park if
-// the request blocked; the caller registers it.
-func handlePlay(c *client, a *ac, req *request, q proto.PlaySamplesReq, seq uint16) *parked {
+// the request blocked; the caller registers it. staged selects the reply
+// route: group dispatch stages the ack into the batch message, the
+// standalone path queues it directly.
+func handlePlay(c *client, a *ac, req *request, q proto.PlaySamplesReq, seq uint16, staged bool) *parked {
 	data := q.Data
 	enc := a.enc
 	if q.Flags&proto.SampleFlagBigEndian != 0 {
 		sampleconv.SwapBytes(enc, data) // data aliases the request body, which we own
 	}
-	var staged *[]byte // pool-owned decompression output, if any
+	var decomp *[]byte // pool-owned decompression output, if any
 	if enc == sampleconv.ADPCM4 {
 		// Conversion module: decompress the stream before the buffering
 		// engine sees it. State carries across requests. Both staging
@@ -577,10 +719,10 @@ func handlePlay(c *client, a *ac, req *request, q proto.PlaySamplesReq, seq uint
 		nlin := 2 * len(data)
 		linp := getLin(nlin)
 		a.playCoder.Decode(*linp, data)
-		staged = getBytes(2 * nlin)
-		sampleconv.FromLin16(*staged, sampleconv.LIN16, *linp, nlin)
+		decomp = getBytes(2 * nlin)
+		sampleconv.FromLin16(*decomp, sampleconv.LIN16, *linp, nlin)
 		putLin(linp)
-		data, enc = *staged, sampleconv.LIN16
+		data, enc = *decomp, sampleconv.LIN16
 	}
 	res := a.dev.Play(atime.ATime(q.Time), data, enc, a.playGain, a.preempt)
 	if res.Blocked {
@@ -596,14 +738,18 @@ func handlePlay(c *client, a *ac, req *request, q proto.PlaySamplesReq, seq uint
 			playData:   data[res.Consumed*cfb:],
 			playTime:   uint32(atime.Add(atime.ATime(q.Time), res.Consumed)),
 			playEnc:    enc,
-			playPooled: staged,
+			playPooled: decomp,
 		}
 	}
-	if staged != nil {
-		putBytes(staged)
+	if decomp != nil {
+		putBytes(decomp)
 	}
 	if q.Flags&proto.SampleFlagSuppressReply == 0 {
-		c.sendReply(&proto.Reply{Time: uint32(res.Now)}, seq)
+		if staged {
+			c.stagedReply(&proto.Reply{Time: uint32(res.Now)}, seq)
+		} else {
+			c.sendReply(&proto.Reply{Time: uint32(res.Now)}, seq)
+		}
 	}
 	return nil
 }

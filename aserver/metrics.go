@@ -65,6 +65,21 @@ type serverMetrics struct {
 	dispatchGetTime *metrics.Histogram
 	dispatchControl *metrics.Histogram
 
+	// dispatchBatch observes the size of every dispatch batch: coalesced
+	// same-engine runs observe their length once, everything else (control
+	// ops, standalone hot ops, error replies) observes 1. Conservation:
+	// its Sum equals the request total exactly once the server is idle,
+	// and never exceeds it in a live snapshot (requests are counted before
+	// the batch observation; Snapshot reads the histogram first).
+	dispatchBatch *metrics.Histogram
+
+	// Staged reply egress (client.go replyStage): small replies generated
+	// while dispatching a run coalesce into one pooled message. bytes is
+	// wire bytes that left via the stage; flushes is stage→queue handoffs
+	// (each one message, one writev iovec, at most one writer wakeup).
+	stagedBytes   *metrics.Counter
+	stagedFlushes *metrics.Counter
+
 	writevBatch    *metrics.Histogram // messages per vectored write
 	sendQueueDepth *metrics.Histogram // outbound queue depth at enqueue
 
@@ -79,6 +94,11 @@ type serverMetrics struct {
 	schedWorkersBusy *metrics.Gauge
 	schedBusyNs      *metrics.Counter
 	schedEngineRuns  *metrics.Counter
+
+	// schedSweepBatch is engines per shard-sweep handoff: when one wheel
+	// tick fires several engines, the scheduler hands the worker the whole
+	// batch (one channel send) instead of one send per engine.
+	schedSweepBatch *metrics.Histogram
 }
 
 func newServerMetrics() *serverMetrics {
@@ -100,6 +120,9 @@ func newServerMetrics() *serverMetrics {
 		dispatchRecord:   reg.Histogram("dispatch.record_ns"),
 		dispatchGetTime:  reg.Histogram("dispatch.gettime_ns"),
 		dispatchControl:  reg.Histogram("dispatch.control_ns"),
+		dispatchBatch:    reg.Histogram("dispatch.batch_size"),
+		stagedBytes:      reg.Counter("wire.staged_bytes"),
+		stagedFlushes:    reg.Counter("wire.staged_flushes"),
 		writevBatch:      reg.Histogram("wire.writev_batch"),
 		sendQueueDepth:   reg.Histogram("wire.send_queue_depth"),
 		schedTickLag:     reg.Histogram("sched.tick_lag_ns"),
@@ -108,6 +131,7 @@ func newServerMetrics() *serverMetrics {
 		schedWorkersBusy: reg.Gauge("sched.workers_busy"),
 		schedBusyNs:      reg.Counter("sched.worker_busy_ns"),
 		schedEngineRuns:  reg.Counter("sched.engine_runs"),
+		schedSweepBatch:  reg.Histogram("sched.sweep_batch"),
 	}
 }
 
@@ -152,6 +176,12 @@ type engineMetrics struct {
 	playChunk *metrics.Histogram // bytes per PlaySamples request
 	recChunk  *metrics.Histogram // bytes per record reply
 
+	// dispatchBatch is hot requests served per engine-lock acquisition on
+	// this engine: coalesced runs observe their group size, standalone hot
+	// dispatches observe 1. Mean ≈ 1 means the batcher finds no runs (or
+	// is off); higher means pipelined small ops are being amortized.
+	dispatchBatch *metrics.Histogram
+
 	parksStarted   *metrics.Counter
 	parksCompleted *metrics.Counter
 	parksDiscarded *metrics.Counter
@@ -179,6 +209,7 @@ func (sm *serverMetrics) newEngineMetrics(rootIndex int) *engineMetrics {
 		recBytes:       reg.Counter(p + "rec_bytes"),
 		playChunk:      reg.Histogram(p + "play_chunk_bytes"),
 		recChunk:       reg.Histogram(p + "rec_chunk_bytes"),
+		dispatchBatch:  reg.Histogram(p + "dispatch_batch"),
 		parksStarted:   reg.Counter(p + "parks_started"),
 		parksCompleted: reg.Counter(p + "parks_completed"),
 		parksDiscarded: reg.Counter(p + "parks_discarded"),
@@ -221,6 +252,15 @@ type Snapshot struct {
 	DispatchGetTimeNs metrics.HistogramSnapshot `json:"dispatch_gettime_ns"`
 	DispatchControlNs metrics.HistogramSnapshot `json:"dispatch_control_ns"`
 
+	// DispatchBatch: requests per dispatch batch, server-wide.
+	// Conservation: DispatchBatch.Sum <= Requests in every snapshot, with
+	// equality once the server is idle (every request is counted in
+	// exactly one batch observation).
+	DispatchBatch metrics.HistogramSnapshot `json:"dispatch_batch"`
+
+	StagedBytes   uint64 `json:"staged_bytes"`
+	StagedFlushes uint64 `json:"staged_flushes"`
+
 	WritevBatch    metrics.HistogramSnapshot `json:"writev_batch"`
 	SendQueueDepth metrics.HistogramSnapshot `json:"send_queue_depth"`
 
@@ -233,6 +273,7 @@ type Snapshot struct {
 	SchedWorkersBusy  int64                     `json:"sched_workers_busy"`
 	SchedWorkerBusyNs uint64                    `json:"sched_worker_busy_ns"`
 	SchedEngineRuns   uint64                    `json:"sched_engine_runs"`
+	SchedSweepBatch   metrics.HistogramSnapshot `json:"sched_sweep_batch"`
 
 	Devices []DeviceStats `json:"devices"`
 }
@@ -262,6 +303,9 @@ type DeviceStats struct {
 	RecBytes       uint64                    `json:"rec_bytes"`
 	PlayChunkBytes metrics.HistogramSnapshot `json:"play_chunk_bytes"`
 	RecChunkBytes  metrics.HistogramSnapshot `json:"rec_chunk_bytes"`
+
+	// DispatchBatch: hot requests served per engine-lock acquisition.
+	DispatchBatch metrics.HistogramSnapshot `json:"dispatch_batch"`
 
 	ParksStarted   uint64                    `json:"parks_started"`
 	ParksCompleted uint64                    `json:"parks_completed"`
@@ -299,6 +343,10 @@ func (s *Server) Snapshot() Snapshot {
 	// every snapshot satisfies Disconnects <= Evictions + Sheds + Drains
 	// + ClientCloses.
 	disconnects := sm.disconnects.Load()
+	// The batch histogram is read before the request total: every dispatch
+	// site adds to requestCount before observing the batch, so every
+	// snapshot satisfies DispatchBatch.Sum <= Requests.
+	dispatchBatch := sm.dispatchBatch.Snapshot()
 	snap := Snapshot{
 		Requests:           s.requestCount.Load(),
 		Connects:           sm.connects.Load(),
@@ -316,6 +364,9 @@ func (s *Server) Snapshot() Snapshot {
 		DispatchRecordNs:   sm.dispatchRecord.Snapshot(),
 		DispatchGetTimeNs:  sm.dispatchGetTime.Snapshot(),
 		DispatchControlNs:  sm.dispatchControl.Snapshot(),
+		DispatchBatch:      dispatchBatch,
+		StagedBytes:        sm.stagedBytes.Load(),
+		StagedFlushes:      sm.stagedFlushes.Load(),
 		WritevBatch:        sm.writevBatch.Snapshot(),
 		SendQueueDepth:     sm.sendQueueDepth.Snapshot(),
 		SchedShards:        s.sched.wheel.Shards(),
@@ -326,6 +377,7 @@ func (s *Server) Snapshot() Snapshot {
 		SchedWorkersBusy:   sm.schedWorkersBusy.Load(),
 		SchedWorkerBusyNs:  sm.schedBusyNs.Load(),
 		SchedEngineRuns:    sm.schedEngineRuns.Load(),
+		SchedSweepBatch:    sm.schedSweepBatch.Snapshot(),
 	}
 	for _, e := range s.engines {
 		d := e.root
@@ -338,6 +390,7 @@ func (s *Server) Snapshot() Snapshot {
 			RecBytes:       em.recBytes.Load(),
 			PlayChunkBytes: em.playChunk.Snapshot(),
 			RecChunkBytes:  em.recChunk.Snapshot(),
+			DispatchBatch:  em.dispatchBatch.Snapshot(),
 			ParksStarted:   em.parksStarted.Load(),
 			ParksCompleted: em.parksCompleted.Load(),
 			ParksDiscarded: em.parksDiscarded.Load(),

@@ -41,13 +41,29 @@ type updateScheduler struct {
 	wg      sync.WaitGroup
 }
 
-// schedItem is one unit handed to the worker pool: a due engine, or a
-// generic job (drain polling) with the tick's clock reading.
+// schedItem is one unit handed to the worker pool: a due engine, a whole
+// shard sweep (batching on), or a generic job (drain polling), with the
+// tick's clock reading.
 type schedItem struct {
-	e   *engine
-	fn  func(now time.Time)
-	now time.Time
+	e     *engine
+	batch *[]*engine
+	fn    func(now time.Time)
+	now   time.Time
 }
+
+// engineBatchPool recycles the slices that carry shard sweeps from the
+// wheel's fire hook to the workers.
+var engineBatchPool = sync.Pool{New: func() any {
+	s := make([]*engine, 0, 64)
+	return &s
+}}
+
+// sweepChunkMax caps how many engines one worker sweeps per item. Small
+// ticks still collapse into a single send (the amortization win), but a
+// tick that fires a whole fleet is split so the sweep spreads across the
+// worker pool instead of serializing on one goroutine — at 512 engines a
+// single-worker sweep would hold tick lag above the update period.
+const sweepChunkMax = 16
 
 // defaultUpdateWorkers sizes the pool: enough to use the machine during
 // a full-fleet tick, never more than one per engine (plus slack for
@@ -79,12 +95,18 @@ func newUpdateScheduler(s *Server, engines, shards, workers int) *updateSchedule
 		// fire path falls back to running inline if it ever would.
 		work: make(chan schedItem, engines+64),
 	}
-	u.wheel = timerwheel.New(timerwheel.Config{
+	cfg := timerwheel.Config{
 		Shards: shards, // 0 = wheel default (GOMAXPROCS/4, clamped to [1, 8])
 		OnBatch: func(n int) {
 			s.sm.schedBatch.Observe(int64(n))
 		},
-	})
+	}
+	if s.batching {
+		// Shard-sweep mode: a tick that fires several engines hands the
+		// worker pool the whole batch in one send (see fireBatch).
+		cfg.FireBatch = u.fireBatch
+	}
+	u.wheel = timerwheel.New(cfg)
 	for i := 0; i < workers; i++ {
 		u.wg.Add(1)
 		go u.worker()
@@ -118,11 +140,92 @@ func (u *updateScheduler) register(e *engine) {
 			u.serviceEngine(e, now)
 		}
 	})
+	// The payload lets the batch fire hook (batching on) recognize engine
+	// timers and group them into one sweep; the per-timer closure above
+	// remains the batching-off path and the fallback for foreign timers.
+	e.timer.Payload = e
 	e.mu.Lock()
 	if next, ok := e.tasks.next(); ok {
 		e.timer.Arm(next)
 	}
 	e.mu.Unlock()
+}
+
+// fireBatch is the wheel's batch hook (batching on): one shard tick that
+// fires several engine timers hands the worker pool the whole sweep as
+// one channel send, instead of one queued CAS + send per engine. The
+// sweep is sorted into ascending engine order — the repo's engine lock
+// order — though the worker only ever holds one engine lock at a time.
+// Non-engine timers (pollUntil's) fall back to their own fire callback.
+func (u *updateScheduler) fireBatch(now time.Time, due []*timerwheel.Timer) {
+	sm := u.s.sm
+	var bp *[]*engine
+	for _, t := range due {
+		e, ok := t.Payload.(*engine)
+		if !ok {
+			t.Fire(now)
+			continue
+		}
+		if overdue := t.Lateness(now); overdue > 0 {
+			sm.schedTickLag.Observe(overdue.Nanoseconds())
+		} else {
+			sm.schedTickLag.Observe(0)
+		}
+		if !e.queued.CompareAndSwap(false, true) {
+			// Already awaiting a worker, which will re-arm under the lock.
+			continue
+		}
+		if bp == nil {
+			bp = engineBatchPool.Get().(*[]*engine)
+		}
+		*bp = append(*bp, e)
+	}
+	if bp == nil {
+		return
+	}
+	batch := *bp
+	// Insertion sort: sweeps are small and usually already ordered, and
+	// sort.Slice would allocate its closure on the per-tick path.
+	for i := 1; i < len(batch); i++ {
+		for j := i; j > 0 && batch[j].idx < batch[j-1].idx; j-- {
+			batch[j], batch[j-1] = batch[j-1], batch[j]
+		}
+	}
+	sm.schedOverdue.Add(int64(len(batch)))
+	for start := 0; start < len(batch); start += sweepChunkMax {
+		end := start + sweepChunkMax
+		if end > len(batch) {
+			end = len(batch)
+		}
+		var cp *[]*engine
+		if start == 0 && end == len(batch) {
+			cp = bp // one chunk: hand over the collected slice itself
+		} else {
+			cp = engineBatchPool.Get().(*[]*engine)
+			*cp = append(*cp, batch[start:end]...)
+		}
+		sm.schedSweepBatch.Observe(int64(end - start))
+		select {
+		case u.work <- schedItem{batch: cp, now: now}:
+		default:
+			// The channel is sized for the whole fleet, so this is
+			// unreachable in steady state; if it ever trips, sweep on the
+			// shard goroutine rather than block the wheel.
+			for _, e := range *cp {
+				sm.schedOverdue.Add(-1)
+				e.queued.Store(false)
+				u.serviceEngine(e, now)
+			}
+			*cp = (*cp)[:0]
+			engineBatchPool.Put(cp)
+		}
+	}
+	if len(batch) > sweepChunkMax {
+		// Multi-chunk tick: the chunks were copied out, so the collected
+		// slice goes straight back to the pool.
+		*bp = (*bp)[:0]
+		engineBatchPool.Put(bp)
+	}
 }
 
 func (u *updateScheduler) worker() {
@@ -132,6 +235,10 @@ func (u *updateScheduler) worker() {
 		case it := <-u.work:
 			if it.fn != nil {
 				it.fn(it.now)
+				continue
+			}
+			if it.batch != nil {
+				u.runBatch(it.batch, it.now)
 				continue
 			}
 			u.runEngine(it.e, it.now)
@@ -154,6 +261,26 @@ func (u *updateScheduler) runEngine(e *engine, now time.Time) {
 	sm.schedBusyNs.Add(uint64(time.Since(t0).Nanoseconds()))
 	sm.schedWorkersBusy.Add(-1)
 	sm.schedEngineRuns.Inc()
+}
+
+// runBatch is one worker pass over a whole shard sweep: each engine is
+// serviced in ascending lock order (one lock held at a time), with the
+// busy accounting done once for the sweep instead of once per engine.
+func (u *updateScheduler) runBatch(bp *[]*engine, now time.Time) {
+	sm := u.s.sm
+	sm.schedWorkersBusy.Add(1)
+	t0 := time.Now()
+	for i, e := range *bp {
+		sm.schedOverdue.Add(-1)
+		e.queued.Store(false)
+		u.serviceEngine(e, now)
+		sm.schedEngineRuns.Inc()
+		(*bp)[i] = nil
+	}
+	sm.schedBusyNs.Add(uint64(time.Since(t0).Nanoseconds()))
+	sm.schedWorkersBusy.Add(-1)
+	*bp = (*bp)[:0]
+	engineBatchPool.Put(bp)
 }
 
 // serviceEngine runs the engine's due tasks and re-arms its wheel timer

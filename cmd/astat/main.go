@@ -24,6 +24,7 @@ import (
 
 	"audiofile/aserver"
 	"audiofile/internal/cmdutil"
+	"audiofile/internal/metrics"
 )
 
 var (
@@ -85,12 +86,12 @@ func scrape(url string) (aserver.Snapshot, error) {
 
 func header() {
 	if *agg {
-		fmt.Printf("%7s %9s %9s %9s %7s %6s %6s %6s %8s %8s %9s %6s %8s\n",
-			"devs", "play-B/s", "rec-B/s", "sil-f/s", "under", "parks", "queued", "errs", "reqs/s", "upd/s", "lag-p99", "bsubs", "bmsg/s")
+		fmt.Printf("%7s %9s %9s %9s %7s %6s %6s %6s %8s %5s %8s %8s %8s %9s %6s %8s\n",
+			"devs", "play-B/s", "rec-B/s", "sil-f/s", "under", "parks", "queued", "errs", "reqs/s", "batch", "stg-B/s", "upd/s", "sweep", "lag-p99", "bsubs", "bmsg/s")
 		return
 	}
-	fmt.Printf("%-10s %9s %9s %9s %7s %6s %6s %6s %9s %9s\n",
-		"device", "play-B/s", "rec-B/s", "sil-f/s", "under", "parks", "queued", "errs", "play-p99", "lock-p99")
+	fmt.Printf("%-10s %9s %9s %9s %7s %6s %6s %5s %6s %9s %9s\n",
+		"device", "play-B/s", "rec-B/s", "sil-f/s", "under", "parks", "queued", "batch", "errs", "play-p99", "lock-p99")
 }
 
 // deviceRate is one device's interval delta, used for -top ranking.
@@ -101,6 +102,7 @@ type deviceRate struct {
 	silRate  float64
 	under    uint64
 	parks    uint64
+	batch    float64 // mean dispatch batch size over the interval
 }
 
 // rates computes per-device interval deltas, sorted busiest-first when
@@ -120,6 +122,7 @@ func rates(prev, cur aserver.Snapshot, secs float64, rank bool) []deviceRate {
 			silRate:  float64(d.PlaySilenceFilled-p.PlaySilenceFilled) / secs,
 			under:    d.Underruns - p.Underruns,
 			parks:    d.ParksStarted - p.ParksStarted,
+			batch:    histDeltaMean(p.DispatchBatch, d.DispatchBatch),
 		})
 	}
 	if rank {
@@ -150,9 +153,9 @@ func printDelta(prev, cur aserver.Snapshot, dt time.Duration) {
 		if i == 0 {
 			errs = fmt.Sprintf("%d", cur.ClientErrors-prev.ClientErrors)
 		}
-		fmt.Printf("%-10s %9.0f %9.0f %9.0f %7d %6d %6d %6s %9s %9s\n",
+		fmt.Printf("%-10s %9.0f %9.0f %9.0f %7d %6d %6d %5.1f %6s %9s %9s\n",
 			r.cur.Name, r.playRate, r.recRate, r.silRate,
-			r.under, r.parks, r.cur.ParkedNow, errs,
+			r.under, r.parks, r.cur.ParkedNow, r.batch, errs,
 			ns(cur.DispatchPlayNs.Quantile(0.99)),
 			ns(r.cur.LockWaitNs.Quantile(0.99)))
 	}
@@ -189,13 +192,26 @@ func printAggregate(prev, cur aserver.Snapshot, dt time.Duration) {
 	for _, d := range prev.Devices {
 		prevMsgs += d.BcastMsgs
 	}
-	fmt.Printf("%7d %9.0f %9.0f %9.0f %7d %6d %6d %6d %8.0f %8.0f %9s %6d %8.0f\n",
+	fmt.Printf("%7d %9.0f %9.0f %9.0f %7d %6d %6d %6d %8.0f %5.1f %8.0f %8.0f %8.1f %9s %6d %8.0f\n",
 		len(cur.Devices), play, rec, sil, under, parks, queued,
 		cur.ClientErrors-prev.ClientErrors,
 		float64(cur.Requests-prev.Requests)/secs,
+		histDeltaMean(prev.DispatchBatch, cur.DispatchBatch),
+		float64(cur.StagedBytes-prev.StagedBytes)/secs,
 		float64(cur.SchedEngineRuns-prev.SchedEngineRuns)/secs,
+		histDeltaMean(prev.SchedSweepBatch, cur.SchedSweepBatch),
 		ns(cur.SchedTickLagNs.Quantile(0.99)),
 		bsubs, float64(curMsgs-prevMsgs)/secs)
+}
+
+// histDeltaMean is the mean observed value across one interval: the
+// delta of a histogram's sum over the delta of its count.
+func histDeltaMean(prev, cur metrics.HistogramSnapshot) float64 {
+	dc := cur.Count - prev.Count
+	if dc == 0 {
+		return 0
+	}
+	return float64(cur.Sum-prev.Sum) / float64(dc)
 }
 
 // printAbsolute renders one snapshot's cumulative counters. -top bounds
@@ -209,6 +225,10 @@ func printAbsolute(s aserver.Snapshot) {
 		ns(s.DispatchPlayNs.Quantile(0.99)), ns(s.DispatchRecordNs.Quantile(0.99)),
 		ns(s.DispatchGetTimeNs.Quantile(0.99)), ns(s.DispatchControlNs.Quantile(0.99)),
 		s.WritevBatch.Mean())
+	fmt.Printf("batch: dispatch mean %.1f p99 %d  staged %d bytes / %d flushes  sweep mean %.1f p99 %d\n",
+		s.DispatchBatch.Mean(), s.DispatchBatch.Quantile(0.99),
+		s.StagedBytes, s.StagedFlushes,
+		s.SchedSweepBatch.Mean(), s.SchedSweepBatch.Quantile(0.99))
 	fmt.Printf("sched: %d shards  %d workers  %d engine-runs  tick-lag p50 %s p99 %s  batch p99 %d  overdue %d\n",
 		s.SchedShards, s.SchedWorkers, s.SchedEngineRuns,
 		ns(s.SchedTickLagNs.Quantile(0.50)), ns(s.SchedTickLagNs.Quantile(0.99)),
@@ -241,12 +261,13 @@ func printAbsolute(s aserver.Snapshot) {
 		hidden = len(ranked) - *top
 		devs = ranked[:*top]
 	}
-	fmt.Printf("%-10s %12s %12s %10s %10s %7s %6s %6s %9s\n",
-		"device", "play-bytes", "rec-bytes", "sil-fill", "preempt", "under", "parks", "queued", "lock-p99")
+	fmt.Printf("%-10s %12s %12s %10s %10s %7s %6s %6s %5s %9s\n",
+		"device", "play-bytes", "rec-bytes", "sil-fill", "preempt", "under", "parks", "queued", "batch", "lock-p99")
 	for _, d := range devs {
-		fmt.Printf("%-10s %12d %12d %10d %10d %7d %6d %6d %9s\n",
+		fmt.Printf("%-10s %12d %12d %10d %10d %7d %6d %6d %5.1f %9s\n",
 			d.Name, d.PlayBytes, d.RecBytes, d.PlaySilenceFilled, d.FramesPreempted,
-			d.Underruns, d.ParksStarted, d.ParkedNow, ns(d.LockWaitNs.Quantile(0.99)))
+			d.Underruns, d.ParksStarted, d.ParkedNow, d.DispatchBatch.Mean(),
+			ns(d.LockWaitNs.Quantile(0.99)))
 	}
 	if hidden > 0 {
 		fmt.Printf("... (+%d more devices; -top %d)\n", hidden, *top)
@@ -266,6 +287,14 @@ func conservation(s aserver.Snapshot) string {
 	if sum := s.Evictions + s.Sheds + s.Drains + s.ClientCloses; s.Disconnects > sum {
 		return fmt.Sprintf("disconnects %d > evictions %d + sheds %d + drains %d + client-closes %d",
 			s.Disconnects, s.Evictions, s.Sheds, s.Drains, s.ClientCloses)
+	}
+	// Every request is retired by exactly one dispatch batch. One-sided
+	// because the server counts requests before observing the batch (and
+	// the snapshot reads the histogram first), so a batch mid-account may
+	// be missing from the sum but never over-counted.
+	if s.DispatchBatch.Sum > s.Requests {
+		return fmt.Sprintf("dispatch batch sizes sum to %d > %d requests",
+			s.DispatchBatch.Sum, s.Requests)
 	}
 	for _, d := range s.Devices {
 		if d.FramesAccepted != d.FramesBuffered+d.FramesDiscarded {

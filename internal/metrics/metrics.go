@@ -86,6 +86,26 @@ func (h *Histogram) Observe(v int64) {
 	h.count.Add(1)
 }
 
+// ObserveN records n observations of the same value v with one bucket
+// update — the batched form the dispatcher uses when a run of requests
+// shares a measurement (per-request latency of a coalesced batch). It is
+// exactly equivalent to calling Observe(v) n times.
+func (h *Histogram) ObserveN(v int64, n uint64) {
+	if n == 0 {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	b := bits.Len64(uint64(v))
+	if b >= NumBuckets {
+		b = NumBuckets - 1
+	}
+	h.buckets[b].Add(n)
+	h.sum.Add(uint64(v) * n)
+	h.count.Add(n)
+}
+
 // ObserveDuration records a duration in nanoseconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Nanoseconds()) }
 

@@ -55,6 +55,14 @@ type Config struct {
 	// OnBatch, if set, observes the size of every non-empty fire batch
 	// (entries fired by one shard tick). Called on shard goroutines.
 	OnBatch func(n int)
+
+	// FireBatch, if set, replaces the per-timer fire loop: one shard tick
+	// hands the whole due batch to this hook in one call, on the shard
+	// goroutine, with no wheel locks held. The hook owns delivering each
+	// entry — typically dispatching homogeneous timers (identified via
+	// Timer.Payload) as one group and calling Timer.Fire for the rest.
+	// The slice is shard-owned scratch: the hook must not retain it.
+	FireBatch func(now time.Time, due []*Timer)
 }
 
 // A Timer is one schedulable entry. Create with Wheel.NewTimer, then
@@ -64,8 +72,14 @@ type Timer struct {
 	fire func(now time.Time, overdue time.Duration)
 	sh   *shard
 
+	// Payload is an opaque owner tag a FireBatch hook can use to sort due
+	// entries into groups (the update scheduler stores the owning engine
+	// here). Set it before the first Arm; the wheel never touches it.
+	Payload any
+
 	// Guarded by sh.mu.
 	when    int64  // deadline, ns since wheel epoch
+	dueWhen int64  // when as of collection into the due batch (see Lateness)
 	slotNum int64  // absolute slot number while in the ring; -1 otherwise
 	heapIdx int    // index in the overflow heap; -1 otherwise
 	next    *Timer // ring-slot list links
@@ -78,9 +92,10 @@ type Wheel struct {
 	epoch   time.Time
 	granule int64 // ns
 	shards  []*shard
-	done    chan struct{}
-	wg      sync.WaitGroup
-	onBatch func(n int)
+	done      chan struct{}
+	wg        sync.WaitGroup
+	onBatch   func(n int)
+	fireBatch func(now time.Time, due []*Timer)
 }
 
 type shard struct {
@@ -121,10 +136,11 @@ func New(cfg Config) *Wheel {
 		cfg.Granularity = time.Millisecond
 	}
 	w := &Wheel{
-		epoch:   time.Now(),
-		granule: cfg.Granularity.Nanoseconds(),
-		done:    make(chan struct{}),
-		onBatch: cfg.OnBatch,
+		epoch:     time.Now(),
+		granule:   cfg.Granularity.Nanoseconds(),
+		done:      make(chan struct{}),
+		onBatch:   cfg.OnBatch,
+		fireBatch: cfg.FireBatch,
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		sh := &shard{
@@ -185,6 +201,23 @@ func (t *Timer) Arm(when time.Time) {
 		default:
 		}
 	}
+}
+
+// Lateness reports how far past the timer's armed deadline now is. It
+// reads the deadline snapshot taken under the shard lock when the entry
+// was collected into the due batch, so it is safe from a FireBatch hook
+// even if the owner concurrently re-arms the timer (an addTaskLocked
+// promotion racing the fire), and it reports the deadline this fire is
+// actually for, not the re-armed one.
+func (t *Timer) Lateness(now time.Time) time.Duration {
+	return time.Duration(now.Sub(t.sh.w.epoch).Nanoseconds() - t.dueWhen)
+}
+
+// Fire invokes the timer's callback as the wheel would have, with the
+// overdue argument derived from the armed deadline. A FireBatch hook
+// calls this for due entries it does not handle as a group.
+func (t *Timer) Fire(now time.Time) {
+	t.fire(now, t.Lateness(now))
 }
 
 // Stop cancels the timer if armed. A concurrent fire that already
@@ -262,6 +295,7 @@ func (sh *shard) advanceLocked(now int64) {
 			t.next, t.prev = nil, nil
 			t.slotNum = -1
 			sh.ringLen--
+			t.dueWhen = t.when
 			sh.due = append(sh.due, t)
 			t = next
 		}
@@ -279,6 +313,7 @@ func (sh *shard) advanceLocked(now int64) {
 		}
 		sh.heapRemoveLocked(0)
 		if sn <= sh.cursor {
+			top.dueWhen = top.when
 			sh.due = append(sh.due, top)
 		} else {
 			sh.insertLocked(top)
@@ -329,9 +364,16 @@ func (sh *shard) run() {
 				ob(len(due))
 			}
 			nowT := sh.w.epoch.Add(time.Duration(now))
-			for i, t := range due {
-				t.fire(nowT, time.Duration(now-t.when))
-				due[i] = nil
+			if fb := sh.w.fireBatch; fb != nil {
+				fb(nowT, due)
+				for i := range due {
+					due[i] = nil
+				}
+			} else {
+				for i, t := range due {
+					t.fire(nowT, time.Duration(now-t.dueWhen))
+					due[i] = nil
+				}
 			}
 			sh.due = due[:0]
 			// Firing may have re-armed into the past; loop to collect.

@@ -79,6 +79,12 @@ func checkConservation(t *testing.T, s aserver.Snapshot) {
 	if s.Requests != dispatched {
 		t.Errorf("requests %d != dispatch observations %d", s.Requests, dispatched)
 	}
+	// Batching: every request is retired by exactly one dispatch batch
+	// (standalone and control dispatches count as a batch of one), so on a
+	// drained snapshot the batch sizes sum back to the request count.
+	if s.Requests != s.DispatchBatch.Sum {
+		t.Errorf("requests %d != dispatch batch sizes sum %d", s.Requests, s.DispatchBatch.Sum)
+	}
 }
 
 // TestMetricsConservation runs the full stress mix — several devices,

@@ -39,7 +39,13 @@ func TestOverloadSoak(t *testing.T) {
 		fragClients   = 3
 		resetClients  = 2
 		stallClients  = 2
-		floodRequests = 50_000
+		// Enough that the flood's reply stream (16 bytes per GetTime)
+		// overflows any kernel socket buffering: with TCP autotuning the
+		// send buffer can absorb several MB before user-space queueing —
+		// and thus the eviction policy — sees a single byte. Eviction cuts
+		// the flood long before this count in the expected case, so the
+		// number only bounds the pathological no-eviction path.
+		floodRequests = 400_000
 	)
 
 	clk := vdev.NewManualClock(rate)
@@ -235,10 +241,14 @@ func TestOverloadSoak(t *testing.T) {
 		}(i)
 	}
 
-	// The wedged consumer: floods GetTime requests over raw TCP and never
-	// reads a single reply. Its send queue must cross the budget and the
-	// policy must evict it; the flood ends when the server resets the
-	// transport under it.
+	// The wedged consumer: floods pipelined GetTime requests over raw TCP
+	// and never reads a single reply. Its receive buffer is pinned small so
+	// the kernel cannot absorb the reply stream on its behalf: the staged
+	// replies must pile up in its per-client send queue, cross the byte
+	// budget, and the policy must evict it; the flood ends when the server
+	// resets the transport under it. Bursts of back-to-back requests per
+	// write are exactly the ingress-run shape the batching path coalesces,
+	// so this also pins that staged egress obeys the queued-byte budget.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -248,6 +258,9 @@ func TestOverloadSoak(t *testing.T) {
 			return
 		}
 		defer nc.Close()
+		if tc, ok := nc.(*net.TCPConn); ok {
+			tc.SetReadBuffer(4096) //nolint:errcheck
+		}
 		setup := proto.SetupRequest{
 			ByteOrder: proto.LittleEndianOrder,
 			Major:     proto.ProtocolMajor,
@@ -263,8 +276,11 @@ func TestOverloadSoak(t *testing.T) {
 		}
 		var w proto.Writer
 		w.Order = binary.LittleEndian
-		proto.AppendDeviceReq(&w, proto.OpGetTime, 0) //nolint:errcheck
-		for i := 0; i < floodRequests; i++ {
+		const burst = 64
+		for i := 0; i < burst; i++ {
+			proto.AppendDeviceReq(&w, proto.OpGetTime, 0) //nolint:errcheck
+		}
+		for i := 0; i < floodRequests; i += burst {
 			if _, err := nc.Write(w.Buf); err != nil {
 				return // evicted: the expected outcome
 			}

@@ -22,10 +22,18 @@ func TestPBXRingCadenceSoak(t *testing.T) {
 		t.Skip("512-line soak in -short mode")
 	}
 	const (
-		lines    = 512
 		pulses   = 3 // ring(1) edges per line, then one ring(0) stop edge
 		watchers = 4
 	)
+	lines := 512
+	if raceDetectorOn {
+		// The race detector slows the whole process several-fold, so on a
+		// small machine a 512-line exchange starves the wheel shards of
+		// CPU and the tick-lag assertion measures the runtime, not the
+		// scheduler. A quarter fleet keeps every correctness property
+		// (exact cadence edges per line) and a meaningful lag budget.
+		lines = 128
+	}
 	specs := make([]aserver.DeviceSpec, lines)
 	for i := range specs {
 		specs[i] = aserver.DeviceSpec{
@@ -64,6 +72,12 @@ func TestPBXRingCadenceSoak(t *testing.T) {
 			if err := conn.SelectEvents(l, af.MaskPhoneRing); err != nil {
 				t.Fatal(err)
 			}
+		}
+		// SelectEvents is asynchronous (buffered client-side, applied by the
+		// control loop); sync before any line rings so a first-pulse drain
+		// cannot race the mask registration and silently skip this watcher.
+		if err := conn.Sync(); err != nil {
+			t.Fatal(err)
 		}
 		wg.Add(1)
 		go func(w int, conn *af.Conn) {

@@ -1,0 +1,9 @@
+//go:build race
+
+package audiofile
+
+// raceDetectorOn reports whether this test binary was built with the
+// race detector, which slows execution several-fold and serializes much
+// of the runtime; timing-sensitive soaks scale their fleets down to
+// keep their latency assertions meaningful.
+const raceDetectorOn = true
