@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"audiofile/internal/lineserver"
 	"audiofile/internal/metrics"
 	"audiofile/internal/proto"
 )
@@ -331,6 +332,13 @@ type DeviceStats struct {
 	HWPlayed   uint64 `json:"hw_played"`
 	HWSilent   uint64 `json:"hw_silent"`
 	HWRecorded uint64 `json:"hw_recorded"`
+
+	// Lineserver is the UDP backend's transport-health snapshot (only
+	// for devices whose backend is a LineServer box). Its conservation
+	// laws — Replies >= Accepted+Stale+Duplicate, ResyncsStarted >=
+	// ResyncsCompleted+ResyncsAbandoned, exact once the backend is
+	// closed — are checked by astat like the frame laws above.
+	Lineserver *lineserver.BackendStats `json:"lineserver,omitempty"`
 }
 
 // Snapshot assembles a consistent metrics snapshot. Engine locks are
@@ -404,6 +412,11 @@ func (s *Server) Snapshot() Snapshot {
 			BcastMsgs:      em.bcastMsgs.Load(),
 			BcastBytes:     em.bcastBytes.Load(),
 			BcastDrops:     em.bcastDrops.Load(),
+		}
+		// Backend health is all atomics — read outside the engine lock.
+		if lsb, ok := d.Backend().(*lineserver.Backend); ok {
+			st := lsb.Stats()
+			ds.Lineserver = &st
 		}
 		e.mu.Lock()
 		io := d.Stats()

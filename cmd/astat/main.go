@@ -245,6 +245,18 @@ func printAbsolute(s aserver.Snapshot) {
 	}
 	fmt.Printf("bcast: subs %d  chunks %d  encodes %d  msgs %d  bytes %d  drops %d\n",
 		bsubs, bchunks, bencodes, bmsgs, bbytes, bdrops)
+	for _, d := range s.Devices {
+		ls := d.Lineserver
+		if ls == nil {
+			continue
+		}
+		fmt.Printf("als %-6s %s  req %d  rep %d (ok %d stale %d dup %d garbage %d)  timeouts %d  slips %d\n",
+			d.Name, ls.State, ls.Requests, ls.Replies,
+			ls.Accepted, ls.Stale, ls.Duplicate, ls.Garbage, ls.Timeouts, ls.Slips)
+		fmt.Printf("als %-6s resyncs: started %d  completed %d  abandoned %d  attempts %d  rec-silence %dB  play-lost %dB\n",
+			d.Name, ls.ResyncsStarted, ls.ResyncsCompleted, ls.ResyncsAbandoned,
+			ls.ResyncAttempts, ls.RecSilenceBytes, ls.PlayLostBytes)
+	}
 	if *agg {
 		if werr := conservation(s); werr != "" {
 			fmt.Fprintf(os.Stderr, "astat: WARNING: %s\n", werr)
@@ -311,6 +323,20 @@ func conservation(s aserver.Snapshot) string {
 		if d.BcastEncodes < d.BcastChunks {
 			return fmt.Sprintf("device %d: broadcast encodes %d < chunks %d",
 				d.Index, d.BcastEncodes, d.BcastChunks)
+		}
+		// LineServer transport health: every reply datagram is classified
+		// exactly once, and every resync the healer starts ends exactly
+		// once. Both one-sided live (the backend increments the aggregate
+		// first and the snapshot reads it last), exact after close.
+		if ls := d.Lineserver; ls != nil {
+			if sum := ls.Accepted + ls.Stale + ls.Duplicate; ls.Replies < sum {
+				return fmt.Sprintf("device %d: lineserver replies %d < accepted %d + stale %d + duplicate %d",
+					d.Index, ls.Replies, ls.Accepted, ls.Stale, ls.Duplicate)
+			}
+			if sum := ls.ResyncsCompleted + ls.ResyncsAbandoned; ls.ResyncsStarted < sum {
+				return fmt.Sprintf("device %d: lineserver resyncs started %d < completed %d + abandoned %d",
+					d.Index, ls.ResyncsStarted, ls.ResyncsCompleted, ls.ResyncsAbandoned)
+			}
 		}
 	}
 	return ""

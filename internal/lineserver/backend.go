@@ -15,10 +15,17 @@ import (
 // touch the network; only update-region traffic does. Play and record
 // packets are never retried ("by then, it is probably too late anyway");
 // register accesses are.
+//
+// The transport is hardened against the faults that define UDP: every
+// reply is sequence-validated (stale replies to timed-out requests and
+// duplicated datagrams are counted and discarded, never adopted), the
+// device-time estimate is monotonic under jittered replies, and a
+// detect/decide/act health loop (health.go) resynchronizes automatically
+// when the box disappears and comes back.
 type Backend struct {
 	mu sync.Mutex
 
-	conn *net.UDPConn
+	conn net.Conn // connected UDP socket
 	rate int
 	seq  uint32
 
@@ -32,7 +39,33 @@ type Backend struct {
 	lastWhen    time.Time
 	extrapolate bool // off for manual-clock tests
 
+	// Monotonicity clamp for Time: jittered and reordered replies must
+	// never make the estimate run backwards. A detected clock slip or a
+	// completed resync clears monotonicValid, letting the estimate step
+	// to the box's new time base (e.g. after a reboot).
+	lastReturned   atime.ATime
+	monotonicValid bool
+
+	// Reply validation: seenReplies is a ring of recently received reply
+	// sequence numbers, so a duplicated datagram — of the live reply or
+	// of a stale one — is classified as a duplicate rather than adopted
+	// or double-counted as stale.
+	seenReplies [16]uint32
+	seenCount   int
+
 	recv []byte
+
+	// Self-healing (health.go).
+	health         backendHealth
+	failThreshold  int
+	resyncMaxTries int
+	resyncBackoff  time.Duration
+	slipThreshold  int
+
+	healCh    chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
 }
 
 // BackendOption configures a Backend.
@@ -49,6 +82,36 @@ func WithoutExtrapolation() BackendOption {
 	return func(b *Backend) { b.extrapolate = false }
 }
 
+// WithHealthTuning overrides the self-healing knobs: failThreshold
+// consecutive round-trip failures escalate to a resync of up to
+// attempts tries with backoff between them (doubling, capped). Zero
+// values keep the defaults; chaos tests use tiny ones.
+func WithHealthTuning(failThreshold, attempts int, backoff time.Duration) BackendOption {
+	return func(b *Backend) {
+		if failThreshold > 0 {
+			b.failThreshold = failThreshold
+		}
+		if attempts > 0 {
+			b.resyncMaxTries = attempts
+		}
+		if backoff > 0 {
+			b.resyncBackoff = backoff
+		}
+	}
+}
+
+// WithSlipThreshold sets the clock-slip detection threshold in frames:
+// an accepted reply whose timestamp deviates from the extrapolated
+// estimate by more than this counts as a slip (§8.3 generalized).
+// Ignored without extrapolation. 0 keeps the default of half a second.
+func WithSlipThreshold(frames int) BackendOption {
+	return func(b *Backend) {
+		if frames > 0 {
+			b.slipThreshold = frames
+		}
+	}
+}
+
 // Dial connects to a LineServer at a UDP address.
 func Dial(addr string, rate int, opts ...BackendOption) (*Backend, error) {
 	ua, err := net.ResolveUDPAddr("udp", addr)
@@ -60,30 +123,91 @@ func Dial(addr string, rate int, opts ...BackendOption) (*Backend, error) {
 		return nil, err
 	}
 	b := &Backend{
-		conn:        conn,
-		rate:        rate,
-		timeout:     100 * time.Millisecond,
-		extrapolate: true,
-		recv:        make([]byte, HeaderBytes+MaxDataBytes+64),
+		conn:           conn,
+		rate:           rate,
+		timeout:        100 * time.Millisecond,
+		extrapolate:    true,
+		recv:           make([]byte, HeaderBytes+MaxDataBytes+64),
+		failThreshold:  defaultFailThreshold,
+		resyncMaxTries: defaultResyncAttempts,
+		resyncBackoff:  defaultResyncBackoff,
+		healCh:         make(chan struct{}, 1),
+		done:           make(chan struct{}),
 	}
 	for _, o := range opts {
 		o(b)
+	}
+	if b.slipThreshold == 0 {
+		b.slipThreshold = rate / 2
 	}
 	// Initial time sync.
 	if rep := b.roundTrip(&Packet{Fn: FnLoopback}, 3); rep != nil {
 		b.lastTime = atime.ATime(rep.Time)
 		b.lastWhen = time.Now()
 	}
+	b.wg.Add(1)
+	go b.healer()
 	return b, nil
 }
 
-// Close releases the socket.
-func (b *Backend) Close() { b.conn.Close() }
+// Close releases the socket and joins the healer. Safe to call more
+// than once; operations after Close fail fast on the closed socket.
+func (b *Backend) Close() {
+	b.closeOnce.Do(func() {
+		close(b.done)
+		b.conn.Close()
+	})
+	b.wg.Wait()
+}
+
+// rememberReply records a reply sequence number in the seen ring.
+// Must be called with b.mu held.
+func (b *Backend) rememberReply(seq uint32) {
+	b.seenReplies[b.seenCount%len(b.seenReplies)] = seq
+	b.seenCount++
+}
+
+// replySeen reports whether seq was received recently. Must be called
+// with b.mu held.
+func (b *Backend) replySeen(seq uint32) bool {
+	n := b.seenCount
+	if n > len(b.seenReplies) {
+		n = len(b.seenReplies)
+	}
+	for i := 0; i < n; i++ {
+		if b.seenReplies[i] == seq {
+			return true
+		}
+	}
+	return false
+}
+
+// adoptTime accepts a reply's timestamp as the new estimation base,
+// first checking it against the extrapolated estimate for a clock slip
+// (detect); a slip releases the monotonicity clamp so Time may step to
+// the box's new base (act). Must be called with b.mu held.
+func (b *Backend) adoptTime(rep *Packet) {
+	now := time.Now()
+	if b.extrapolate && !b.lastWhen.IsZero() {
+		expected := atime.Add(b.lastTime, int(now.Sub(b.lastWhen).Seconds()*float64(b.rate)))
+		if d := atime.Sub(atime.ATime(rep.Time), expected); d > int32(b.slipThreshold) || d < -int32(b.slipThreshold) {
+			b.health.slips.Add(1)
+			b.monotonicValid = false
+		}
+	}
+	b.lastTime = atime.ATime(rep.Time)
+	b.lastWhen = now
+}
 
 // roundTrip sends a request and waits for its reply, trying up to tries
-// times. It returns nil when every attempt timed out. Must be called with
+// times. It returns nil when every attempt timed out. Every parseable
+// reply datagram is classified exactly once — accepted, stale, or
+// duplicate — so the books satisfy Replies == Accepted + Stale +
+// Duplicate; only an accepted reply (live sequence number and matching
+// function code) may update the time estimate. Must be called with
 // b.mu held (or before concurrent use).
 func (b *Backend) roundTrip(req *Packet, tries int) *Packet {
+	h := &b.health
 	for attempt := 0; attempt < tries; attempt++ {
 		b.seq++
 		req.Seq = b.seq
@@ -92,26 +216,51 @@ func (b *Backend) roundTrip(req *Packet, tries int) *Packet {
 		// Write leaves a window where the reply can race the deadline.
 		if err := b.conn.SetReadDeadline(time.Now().Add(b.timeout)); err != nil {
 			b.noteErr(err)
+			b.noteFailure()
 			return nil
 		}
 		if _, err := b.conn.Write(req.Marshal()); err != nil {
 			b.noteErr(err)
+			b.noteFailure()
 			return nil
 		}
+		h.requests.Add(1)
 		for {
 			n, err := b.conn.Read(b.recv)
 			if err != nil {
 				break // timeout: retry or give up
 			}
 			rep, err := Parse(b.recv[:n])
-			if err != nil || rep.Seq != req.Seq {
-				continue // stale reply from an earlier attempt
+			if err != nil {
+				h.garbage.Add(1)
+				continue
 			}
-			b.lastTime = atime.ATime(rep.Time)
-			b.lastWhen = time.Now()
-			return rep
+			// The aggregate increments before the classification so the
+			// one-sided law Replies >= Accepted+Stale+Duplicate holds in
+			// every live snapshot (Stats reads the classes first).
+			h.replies.Add(1)
+			switch {
+			case rep.Seq == req.Seq && rep.Fn == req.Fn:
+				h.accepted.Add(1)
+				b.rememberReply(rep.Seq)
+				b.adoptTime(rep)
+				b.noteSuccess()
+				return rep
+			case b.replySeen(rep.Seq):
+				// A duplicated datagram: a copy of a reply we already
+				// classified (accepted or stale). Never adopted.
+				h.duplicate.Add(1)
+			default:
+				// A straggler answering an earlier, timed-out request (or
+				// a live-sequence reply with the wrong function code).
+				// Its payload may be valid for that old request, but its
+				// timestamp is old news: discarded, never adopted.
+				h.stale.Add(1)
+				b.rememberReply(rep.Seq)
+			}
 		}
 	}
+	b.noteFailure()
 	return nil
 }
 
@@ -135,9 +284,26 @@ func (b *Backend) Err() error {
 }
 
 // Time implements core.Backend: the estimated LineServer device time.
+// The estimate is monotonic: stragglers, duplicated replies, and
+// jittered extrapolation can never make it run backwards. Only a
+// detected clock slip or a completed resync (the box legitimately has a
+// new time base) lets it step.
 func (b *Backend) Time() atime.ATime {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	t := b.timeEstimateLocked()
+	if b.monotonicValid && atime.Before(t, b.lastReturned) {
+		return b.lastReturned
+	}
+	b.lastReturned = t
+	b.monotonicValid = true
+	return t
+}
+
+// timeEstimateLocked is the raw estimate: extrapolate from the last
+// accepted reply when fresh, otherwise ping the box, otherwise fall
+// back to the stale base.
+func (b *Backend) timeEstimateLocked() atime.ATime {
 	if b.extrapolate {
 		age := time.Since(b.lastWhen)
 		if age < 250*time.Millisecond {
@@ -168,7 +334,11 @@ func (b *Backend) WritePlay(t atime.ATime, data []byte) int {
 		}
 		// One try only: the reply carries just the time, and a lost play
 		// packet is not worth retrying.
-		b.roundTrip(&Packet{Fn: FnPlay, Time: uint32(t), Data: data[:n]}, 1)
+		if b.roundTrip(&Packet{Fn: FnPlay, Time: uint32(t), Data: data[:n]}, 1) == nil {
+			// Unacknowledged: the packet (or its ack) is gone. The box may
+			// still have it, but for gap accounting we assume the worst.
+			b.health.playLostBytes.Add(uint64(n))
+		}
 		written += n
 		t = atime.Add(t, n)
 		data = data[n:]
@@ -192,8 +362,17 @@ func (b *Backend) ReadRecord(t atime.ATime, buf []byte) int {
 			for i := 0; i < n; i++ {
 				buf[got+i] = 0xFF
 			}
+			b.health.recSilenceBytes.Add(uint64(n))
 		} else {
-			copy(buf[got:got+n], rep.Data)
+			c := copy(buf[got:got+n], rep.Data)
+			// A short reply (truncated in transit) silence-fills its tail
+			// rather than leaking whatever the caller's buffer held.
+			for i := c; i < n; i++ {
+				buf[got+i] = 0xFF
+			}
+			if c < n {
+				b.health.recSilenceBytes.Add(uint64(n - c))
+			}
 		}
 		got += n
 		t = atime.Add(t, n)

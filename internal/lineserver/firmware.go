@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"audiofile/internal/atime"
+	"audiofile/internal/netsim"
 	"audiofile/internal/sampleconv"
 	"audiofile/internal/vdev"
 )
@@ -20,6 +21,13 @@ type FirmwareConfig struct {
 	Sink   vdev.PlaySink // nil discards (the box's speaker jack)
 	Source vdev.RecordSource
 	Addr   string // UDP listen address; "" means 127.0.0.1:0
+
+	// Faults, when non-nil, wraps the box's socket with deterministic
+	// seeded packet-fault injection (loss, duplication, reordering,
+	// burst blackouts). A single wrapper at the firmware's socket puts
+	// the whole protocol through the fault layer: requests arriving are
+	// its ingress, replies leaving are its egress.
+	Faults *netsim.PacketFaultConfig
 }
 
 // Firmware simulates the LineServer's firmware: "two threads of control: a
@@ -29,9 +37,10 @@ type FirmwareConfig struct {
 // packets as replies to requests.
 type Firmware struct {
 	mu   sync.Mutex
-	dev  *vdev.Device
-	regs map[uint32]uint32
-	pc   net.PacketConn
+	dev    *vdev.Device
+	regs   map[uint32]uint32
+	pc     net.PacketConn
+	faults *netsim.FaultPacketConn // nil without fault injection
 
 	done      chan struct{}
 	closeOnce sync.Once
@@ -54,14 +63,20 @@ func NewFirmware(cfg FirmwareConfig) (*Firmware, error) {
 	if err != nil {
 		return nil, err
 	}
+	var faults *netsim.FaultPacketConn
+	if cfg.Faults != nil {
+		faults = netsim.NewFaultPacketConn(pc, *cfg.Faults)
+		pc = faults
+	}
 	f := &Firmware{
 		dev: vdev.New(vdev.Config{
 			Name: "lineserver", Rate: cfg.Rate, Enc: sampleconv.MU255, Channels: 1,
 			HWFrames: FirmwareFrames, Clock: cfg.Clock, Sink: cfg.Sink, Source: cfg.Source,
 		}),
-		regs: make(map[uint32]uint32),
-		pc:   pc,
-		done: make(chan struct{}),
+		regs:   make(map[uint32]uint32),
+		pc:     pc,
+		faults: faults,
+		done:   make(chan struct{}),
 	}
 	f.wg.Add(1)
 	go f.networkThread()
@@ -70,6 +85,10 @@ func NewFirmware(cfg FirmwareConfig) (*Firmware, error) {
 
 // Addr returns the firmware's UDP address.
 func (f *Firmware) Addr() string { return f.pc.LocalAddr().String() }
+
+// Faults returns the fault-injection layer, or nil when the box was
+// booted without one. Chaos tests use it to read packet accounting.
+func (f *Firmware) Faults() *netsim.FaultPacketConn { return f.faults }
 
 // Packets returns how many request packets the box has processed.
 func (f *Firmware) Packets() uint64 {

@@ -1,0 +1,93 @@
+package lineserver
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// Native fuzz targets for the LineServer wire format, alongside the
+// proto package's targets for the TCP protocol. `go test` runs the seed
+// corpus; `go test -fuzz=FuzzPacket` explores further.
+
+// FuzzPacket drives Parse with arbitrary datagrams. Invariants: never
+// panic; every datagram of at least HeaderBytes parses; everything
+// shorter errors; re-marshaling reproduces every field (only the three
+// header padding bytes after Fn may change — Marshal canonicalizes them
+// to zero), and the canonical form is a fixed point of Parse∘Marshal.
+func FuzzPacket(f *testing.F) {
+	// Seeds: one well-formed instance of each function code, a truncated
+	// header, an empty datagram, an oversized body (beyond MaxDataBytes —
+	// the parser must take it; bounds are the transport's business), and
+	// a header full of sign-bit traps.
+	for _, fn := range []uint8{FnPlay, FnRecord, FnReadReg, FnWriteReg, FnLoopback, FnReset} {
+		p := &Packet{Seq: 42, Time: 0xFFFF0000, Fn: fn, Param: 7, Data: []byte{1, 2, 3}}
+		f.Add(p.Marshal())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Add(make([]byte, HeaderBytes-1))
+	f.Add((&Packet{Fn: FnPlay, Data: make([]byte, MaxDataBytes+100)}).Marshal())
+	f.Add(bytes.Repeat([]byte{0xFF}, HeaderBytes))
+	f.Add(bytes.Repeat([]byte{0x80}, HeaderBytes+8))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Parse(data)
+		if err != nil {
+			if len(data) >= HeaderBytes {
+				t.Fatalf("%d-byte datagram rejected: %v", len(data), err)
+			}
+			return
+		}
+		if len(data) < HeaderBytes {
+			t.Fatalf("short datagram (%d bytes) parsed", len(data))
+		}
+		canon := p.Marshal()
+		q, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v", err)
+		}
+		if q.Seq != p.Seq || q.Time != p.Time || q.Fn != p.Fn || q.Param != p.Param ||
+			!bytes.Equal(q.Data, p.Data) {
+			t.Fatalf("round trip lost fields: %+v != %+v", q, p)
+		}
+		if again := q.Marshal(); !bytes.Equal(again, canon) {
+			t.Fatalf("canonical form not a fixed point:\n in  %x\n out %x", canon, again)
+		}
+	})
+}
+
+// FuzzPacketFields round-trips structured packets through Marshal/Parse
+// and pins the wire byte order: the header is big-endian (the 68302's
+// native order) no matter the host's, so a little-endian workstation and
+// the box agree. The explicit byte checks would catch an accidental
+// switch to host order — reading the fields back through the same
+// (wrong) codec would not.
+func FuzzPacketFields(f *testing.F) {
+	f.Add(uint32(1), uint32(2), uint8(FnPlay), uint32(4), []byte("samples"))
+	f.Add(uint32(0), uint32(0), uint8(0), uint32(0), []byte{})
+	f.Add(^uint32(0), ^uint32(0), uint8(255), ^uint32(0), []byte{0xFF})
+	f.Add(uint32(0x80000000), uint32(0x7FFFFFFF), uint8(FnRecord), uint32(0x01020304), []byte{0})
+
+	f.Fuzz(func(t *testing.T, seq, tm uint32, fn uint8, param uint32, data []byte) {
+		p := &Packet{Seq: seq, Time: tm, Fn: fn, Param: param, Data: data}
+		wire := p.Marshal()
+		if len(wire) != HeaderBytes+len(data) {
+			t.Fatalf("marshal length %d, want %d", len(wire), HeaderBytes+len(data))
+		}
+		if binary.BigEndian.Uint32(wire[0:]) != seq ||
+			binary.BigEndian.Uint32(wire[4:]) != tm ||
+			wire[8] != fn ||
+			binary.BigEndian.Uint32(wire[12:]) != param {
+			t.Fatalf("header not big-endian on the wire: % x", wire[:HeaderBytes])
+		}
+		got, err := Parse(wire)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Seq != seq || got.Time != tm || got.Fn != fn || got.Param != param ||
+			!bytes.Equal(got.Data, data) {
+			t.Fatalf("round trip: %+v != {%d %d %d %d %x}", got, seq, tm, fn, param, data)
+		}
+	})
+}

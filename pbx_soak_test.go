@@ -9,6 +9,7 @@ package audiofile
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -122,8 +123,19 @@ func TestPBXRingCadenceSoak(t *testing.T) {
 		t.Fatal("no tick-lag observations; the wheel did not drive the fleet")
 	}
 	interval := 64 * time.Millisecond
-	if p99 := time.Duration(snap.SchedTickLagNs.Quantile(0.99)); p99 >= interval {
-		t.Fatalf("tick lag p99 %v >= update interval %v at %d lines", p99, interval, lines)
+	budget := interval
+	if raceDetectorOn && runtime.NumCPU() < 4 {
+		// Quarter-scaling the fleet (above) is not enough when the race
+		// build has one or two cores: the server loop, the watchers, and
+		// the wheel shards all time-share a starved CPU and the p99
+		// measures the Go scheduler, not the wheel. Keep the assertion —
+		// a wedged wheel still fails — but give it the headroom the
+		// hardware denies rather than a budget the machine cannot meet.
+		budget = 8 * interval
+	}
+	if p99 := time.Duration(snap.SchedTickLagNs.Quantile(0.99)); p99 >= budget {
+		t.Fatalf("tick lag p99 %v >= budget %v (update interval %v) at %d lines",
+			p99, budget, interval, lines)
 	}
 	if snap.SchedOverdueTasks < 0 || snap.SchedWorkersBusy < 0 {
 		t.Fatalf("scheduler gauges went negative: overdue=%d busy=%d",
