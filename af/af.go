@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strings"
 	"sync"
 
 	"audiofile/internal/proto"
@@ -194,6 +195,12 @@ type Conn struct {
 	// connections made over a caller-supplied transport (NewConn).
 	network, addr string
 
+	// route is the routing key sent in the setup request's auth fields
+	// (proto.RouteAuthName) when the server is a fleet router; it is
+	// replayed on every reconnect so a redirected session is re-placed
+	// by the same directory lookup. Empty for direct connections.
+	route string
+
 	// rmsg is the reusable incoming-message buffer: the reply stream is
 	// read into it without allocating. Its contents (including any Extra
 	// bytes) are only valid until the next read, so anything handed to
@@ -258,7 +265,9 @@ func unixSocketPath(display int) string {
 //
 // Name forms: "host:n" connects via TCP to port BasePort+n; ":n" or
 // "unix:n" via the local socket /tmp/.AFunix/AFn; "tcp:host:port" and
-// "unix:/path" name transports explicitly.
+// "unix:/path" name transports explicitly. A "#key" suffix on any form
+// sets a routing key for a fleet router (see OpenRoute): "router:0#studio"
+// asks the router at router:0 to place the session by the key "studio".
 func Open(name string) (*Conn, error) {
 	if name == "" {
 		name = os.Getenv("AUDIOFILE")
@@ -268,6 +277,11 @@ func Open(name string) (*Conn, error) {
 	}
 	if name == "" {
 		return nil, fmt.Errorf("af: no server name and no AUDIOFILE or DISPLAY environment variable")
+	}
+	display := name
+	route := ""
+	if i := strings.LastIndexByte(name, '#'); i >= 0 {
+		name, route = name[:i], name[i+1:]
 	}
 	network, addr, err := resolveName(name)
 	if err != nil {
@@ -282,13 +296,25 @@ func Open(name string) (*Conn, error) {
 		// request behind an unacknowledged flush.
 		tc.SetNoDelay(true) //nolint:errcheck
 	}
-	c, err := NewConn(conn)
+	c, err := NewConnRoute(conn, false, route)
 	if err != nil {
 		return nil, err
 	}
-	c.name = name
+	c.name = display
 	c.network, c.addr = network, addr
 	return c, nil
+}
+
+// OpenRoute is Open with an explicit routing key, equivalent to a "#key"
+// suffix on the server name. The key travels in the setup request's auth
+// fields; a fleet router (cmd/arouter) hashes it onto its backend
+// directory to choose the afd that serves the session, and a direct afd
+// ignores it.
+func OpenRoute(name, route string) (*Conn, error) {
+	if route == "" {
+		return Open(name)
+	}
+	return Open(name + "#" + route)
 }
 
 // resolveName parses a server name into a dialable address.
@@ -332,17 +358,35 @@ func NewConn(conn net.Conn) (*Conn, error) {
 // exercises the server's byte-swapping path, as a client on an
 // opposite-order machine would.
 func NewConnOrder(conn net.Conn, bigEndian bool) (*Conn, error) {
+	return NewConnRoute(conn, bigEndian, "")
+}
+
+// routedSetup builds the setup request for a handshake, carrying the
+// routing key in the auth fields when one is set (proto.RouteAuthName).
+func routedSetup(byteOrder byte, route string) proto.SetupRequest {
+	s := proto.SetupRequest{
+		ByteOrder: byteOrder,
+		Major:     proto.ProtocolMajor,
+		Minor:     proto.ProtocolMinor,
+	}
+	if route != "" {
+		s.AuthName = proto.RouteAuthName
+		s.AuthData = []byte(route)
+	}
+	return s
+}
+
+// NewConnRoute is NewConnOrder with a routing key for a fleet router;
+// see OpenRoute. The key is replayed on reconnect, so failover keeps the
+// session's directory placement.
+func NewConnRoute(conn net.Conn, bigEndian bool, route string) (*Conn, error) {
 	ob := byte(proto.LittleEndianOrder)
 	var order binary.ByteOrder = binary.LittleEndian
 	if bigEndian {
 		ob = proto.BigEndianOrder
 		order = binary.BigEndian
 	}
-	setup := proto.SetupRequest{
-		ByteOrder: ob,
-		Major:     proto.ProtocolMajor,
-		Minor:     proto.ProtocolMinor,
-	}
+	setup := routedSetup(ob, route)
 	if err := setup.Send(conn); err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("af: setup: %w", err)
@@ -361,6 +405,7 @@ func NewConnOrder(conn net.Conn, bigEndian bool) (*Conn, error) {
 		br:       bufio.NewReaderSize(conn, 64<<10),
 		order:    order,
 		name:     conn.RemoteAddr().String(),
+		route:    route,
 		w:        proto.Writer{Order: order},
 		vendor:   rep.Vendor,
 		nextACID: 1,

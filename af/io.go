@@ -137,10 +137,12 @@ func (c *Conn) dispatchAsync(msg *proto.Message) {
 	case msg.Broadcast != nil:
 		c.deliverBroadcast(msg.Broadcast)
 	case msg.Error != nil:
-		if msg.Error.Code == proto.ErrOverload || msg.Error.Code == proto.ErrDrain {
+		if proto.IsGoodbye(msg.Error.Code) {
 			// A connection-scoped goodbye, not a per-request failure: the
 			// server is about to close the transport. Remember why, so the
-			// error the next operation hits is typed (ServerClosedError).
+			// error the next operation hits is typed (ServerClosedError) —
+			// and, for a Redirect, so the reconnect machinery knows the
+			// close is an invitation to redial, not an eviction.
 			c.closeNotice = msg.Error.Code
 			return
 		}
@@ -202,13 +204,13 @@ func (c *Conn) awaitReplyDirect(seq uint16, dst []byte) (*proto.Reply, error) {
 		if msg.Reply != nil && msg.Reply.Seq == seq {
 			return msg.Reply, nil
 		}
-		if msg.Error != nil && msg.Error.Seq == seq &&
-			msg.Error.Code != proto.ErrOverload && msg.Error.Code != proto.ErrDrain {
+		if msg.Error != nil && msg.Error.Seq == seq && !proto.IsGoodbye(msg.Error.Code) {
 			return nil, protoErrFromWire(msg.Error)
 		}
-		// Overload/Drain goodbyes are connection-scoped even when their
-		// sequence number matches the awaited request; dispatchAsync records
-		// them and the loop runs on to the transport close that follows.
+		// Overload/Drain/Redirect goodbyes are connection-scoped even when
+		// their sequence number matches the awaited request; dispatchAsync
+		// records them and the loop runs on to the transport close that
+		// follows.
 		c.dispatchAsync(msg)
 	}
 }

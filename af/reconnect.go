@@ -88,9 +88,11 @@ func (e *ReconnectedError) Error() string {
 func (e *ReconnectedError) Unwrap() error { return e.Err }
 
 // ServerClosedError reports that the server deliberately closed the
-// session with a typed notice — an Overload eviction or a Drain
-// shutdown — rather than the transport failing on its own. Code is the
-// proto.Err* code from the server's final message.
+// session with a typed notice — an Overload eviction, a Drain shutdown,
+// or a router Redirect — rather than the transport failing on its own.
+// Code is the proto.Err* code from the server's final message. With
+// reconnection enabled a Redirect never surfaces (the library redials
+// and is re-placed); Overload and Drain always do.
 type ServerClosedError struct {
 	Code uint8
 	Err  error // the transport error that followed the notice
@@ -105,13 +107,24 @@ func (e *ServerClosedError) Unwrap() error { return e.Err }
 // shouldReconnect reports whether err warrants a reconnection attempt:
 // reconnection is enabled, the connection is not deliberately closed,
 // and the failure is the transport dying — a protocol error is the
-// server answering, not a reason to redial. c.mu held.
+// server answering, not a reason to redial. A typed goodbye is
+// redirect-aware: a Redirect notice (a fleet router moving the session
+// to a replacement backend) is an invitation to redial, while Overload
+// and Drain are deliberate terminations that redialing would only
+// bounce against. c.mu held.
 func (c *Conn) shouldReconnect(err error) bool {
 	if c.reconnect == nil || c.closed || err == nil {
 		return false
 	}
 	var pe *ProtoError
-	return !errors.As(err, &pe)
+	if errors.As(err, &pe) {
+		return false
+	}
+	var sce *ServerClosedError
+	if errors.As(err, &sce) {
+		return sce.Code == proto.ErrRedirect
+	}
+	return true
 }
 
 // reconnectLocked re-establishes the session with backoff: redial,
@@ -160,11 +173,11 @@ func (c *Conn) resetOnto(nc net.Conn) error {
 	if c.order == binary.ByteOrder(binary.BigEndian) {
 		ob = proto.BigEndianOrder
 	}
-	setup := proto.SetupRequest{
-		ByteOrder: ob,
-		Major:     proto.ProtocolMajor,
-		Minor:     proto.ProtocolMinor,
-	}
+	// The routing key is replayed verbatim: after a router-initiated
+	// failover the redial lands on the router again, and the same key
+	// must drive the directory lookup that places the session on the
+	// replacement backend.
+	setup := routedSetup(ob, c.route)
 	if err := setup.Send(nc); err != nil {
 		return fmt.Errorf("af: reconnect setup: %w", err)
 	}

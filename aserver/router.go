@@ -1,0 +1,930 @@
+package aserver
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"audiofile/internal/metrics"
+	"audiofile/internal/proto"
+)
+
+// Fleet routing. One afd owns one machine's devices; a Router fronts a
+// fleet of them behind a single AF endpoint. It speaks just enough of
+// the protocol to read the client's setup request, hashes the session's
+// routing key (carried in the setup auth fields, see proto.RouteAuthName)
+// onto a consistent-hash Directory of backends, and from then on is a
+// pure byte splice: the backend's setup reply and every subsequent
+// message forward verbatim in both directions through pooled buffers, so
+// the proxied hot path adds no per-chunk allocations and never parses
+// the stream.
+//
+// Health is the detect/decide/act loop from the lineserver backend,
+// lifted to the fleet: a per-backend prober holds its own AF session and
+// round-trips a GetTime every ProbeInterval. A probe failure moves the
+// backend healthy→suspect; FailThreshold consecutive failures move it
+// suspect→down; any success snaps it back to healthy. The directory
+// never places a new session on a down backend.
+//
+// Failover: when a session's backend side fails, the router must decide
+// whether the backend closed this one session on purpose (an Overload
+// eviction, whose goodbye has already been spliced through to the
+// client) or died. It cannot tell from the spliced bytes, so it asks the
+// backend directly — one synchronous confirm probe. A backend that
+// answers means a deliberate close: the router just closes the client
+// side. A backend that doesn't is forced down, and the router starts a
+// failover: if the directory still has a live standby for the session's
+// key, it sends the client a typed ErrRedirect goodbye and counts the
+// failover completed, else abandoned. A redirect-aware client
+// (af.SetReconnect) redials the router, carries the same routing key in
+// its setup, lands on the standby, and replays its audio contexts — the
+// router itself holds no session state to migrate.
+//
+// Counter ownership and conservation: routes is incremented once per
+// proxied session by the accept path; exactly one of closedClient,
+// closedBackend, or failoversStarted is incremented per session by the
+// pump that loses the session (a CAS picks the single classifier); and
+// every failoversStarted is followed by exactly one of
+// failoversCompleted or failoversAbandoned before the session is torn
+// down. Snapshot reads the outcome counters before their antecedents, so
+//
+//	failovers_started >= failovers_completed + failovers_abandoned
+//	routes >= closed_client + closed_backend + failovers_started
+//
+// hold in every live snapshot, and both are exact equalities once the
+// router is drained (sessions_active == 0).
+
+// RouterOptions configures a Router.
+type RouterOptions struct {
+	// Backends are the afd dial targets, one per backend: "host:port"
+	// dials TCP, an address containing '/' dials a Unix socket.
+	Backends []string
+	// Names optionally gives the directory names hashed onto the ring
+	// (stable identities that survive an address change); defaults to
+	// Backends.
+	Names []string
+	// Replicas is the virtual-point count per backend on the hash ring
+	// (default DefaultDirectoryReplicas).
+	Replicas int
+
+	// ProbeInterval is the health-check period (default 1s);
+	// ProbeTimeout bounds one probe round trip (default 2s).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// FailThreshold is the consecutive probe failures after which a
+	// suspect backend is marked down (default 3). The first failure
+	// always moves healthy→suspect.
+	FailThreshold int
+
+	// DialTimeout bounds a backend dial for a new session (default 5s).
+	DialTimeout time.Duration
+	// ClientWriteStall is the rolling write deadline toward clients: a
+	// client that stops reading for this long loses its session instead
+	// of pinning a pump goroutine (default 30s). The backend's own
+	// overload policy usually fires first.
+	ClientWriteStall time.Duration
+
+	// Logf receives progress messages; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Backend health states.
+const (
+	backendHealthy int32 = iota
+	backendSuspect
+	backendDown
+)
+
+// stateName maps a health state to its wire/report name.
+func stateName(s int32) string {
+	switch s {
+	case backendHealthy:
+		return "healthy"
+	case backendSuspect:
+		return "suspect"
+	case backendDown:
+		return "down"
+	}
+	return fmt.Sprintf("state(%d)", s)
+}
+
+// Router is an AF-protocol session router fronting a fleet of afds.
+type Router struct {
+	opts RouterOptions
+	dir  *Directory
+	reg  *metrics.Registry
+	rm   routerMetrics
+
+	backends []*routerBackend
+
+	mu        sync.Mutex
+	listeners []net.Listener
+	sessions  map[*rsession]struct{}
+	closed    bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+type routerMetrics struct {
+	routes         *metrics.Counter
+	routeErrors    *metrics.Counter
+	sessionsActive *metrics.Gauge
+
+	bytesC2B *metrics.Counter // client→backend bytes forwarded
+	bytesB2C *metrics.Counter // backend→client bytes forwarded
+
+	closedClient       *metrics.Counter
+	closedBackend      *metrics.Counter
+	failoversStarted   *metrics.Counter
+	failoversCompleted *metrics.Counter
+	failoversAbandoned *metrics.Counter
+}
+
+type routerBackend struct {
+	r             *Router
+	index         int
+	name          string
+	network, addr string
+
+	mu          sync.Mutex
+	state       int32
+	consecFails int
+
+	// Prober-owned connection state; only the prober goroutine and the
+	// one-shot confirm path (which uses its own throwaway conn) touch
+	// the network, so no lock guards probeConn.
+	probeConn net.Conn
+	probeBR   *bufio.Reader
+	probeSeq  uint16
+
+	stateGauge *metrics.Gauge
+	sessions   *metrics.Gauge
+	probes     *metrics.Counter
+	probeFails *metrics.Counter
+	dialErrors *metrics.Counter
+	toHealthy  *metrics.Counter
+	toSuspect  *metrics.Counter
+	toDown     *metrics.Counter
+}
+
+// NewRouter builds a router over the given backends and starts its
+// health probers. All backends start healthy (optimistically routable);
+// the first probe round corrects that within ProbeInterval.
+func NewRouter(opts RouterOptions) (*Router, error) {
+	if len(opts.Backends) == 0 {
+		return nil, errors.New("aserver: router needs at least one backend")
+	}
+	if len(opts.Names) != 0 && len(opts.Names) != len(opts.Backends) {
+		return nil, errors.New("aserver: router Names must match Backends")
+	}
+	if opts.ProbeInterval <= 0 {
+		opts.ProbeInterval = time.Second
+	}
+	if opts.ProbeTimeout <= 0 {
+		opts.ProbeTimeout = 2 * time.Second
+	}
+	if opts.FailThreshold <= 0 {
+		opts.FailThreshold = 3
+	}
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 5 * time.Second
+	}
+	if opts.ClientWriteStall <= 0 {
+		opts.ClientWriteStall = 30 * time.Second
+	}
+	names := opts.Names
+	if len(names) == 0 {
+		names = opts.Backends
+	}
+	r := &Router{
+		opts:     opts,
+		dir:      NewDirectory(names, opts.Replicas),
+		reg:      metrics.NewRegistry(),
+		sessions: make(map[*rsession]struct{}),
+		done:     make(chan struct{}),
+	}
+	r.rm = routerMetrics{
+		routes:             r.reg.Counter("router.routes"),
+		routeErrors:        r.reg.Counter("router.route_errors"),
+		sessionsActive:     r.reg.Gauge("router.sessions_active"),
+		bytesC2B:           r.reg.Counter("router.proxied_bytes_c2b"),
+		bytesB2C:           r.reg.Counter("router.proxied_bytes_b2c"),
+		closedClient:       r.reg.Counter("router.closed_client"),
+		closedBackend:      r.reg.Counter("router.closed_backend"),
+		failoversStarted:   r.reg.Counter("router.failovers_started"),
+		failoversCompleted: r.reg.Counter("router.failovers_completed"),
+		failoversAbandoned: r.reg.Counter("router.failovers_abandoned"),
+	}
+	for i, addr := range opts.Backends {
+		network := "tcp"
+		if strings.Contains(addr, "/") {
+			network = "unix"
+		}
+		b := &routerBackend{
+			r:       r,
+			index:   i,
+			name:    names[i],
+			network: network,
+			addr:    addr,
+			state:   backendHealthy,
+
+			stateGauge: r.reg.Gauge(fmt.Sprintf("router.backend.%d.state", i)),
+			sessions:   r.reg.Gauge(fmt.Sprintf("router.backend.%d.sessions", i)),
+			probes:     r.reg.Counter(fmt.Sprintf("router.backend.%d.probes", i)),
+			probeFails: r.reg.Counter(fmt.Sprintf("router.backend.%d.probe_failures", i)),
+			dialErrors: r.reg.Counter(fmt.Sprintf("router.backend.%d.dial_errors", i)),
+			toHealthy:  r.reg.Counter(fmt.Sprintf("router.backend.%d.to_healthy", i)),
+			toSuspect:  r.reg.Counter(fmt.Sprintf("router.backend.%d.to_suspect", i)),
+			toDown:     r.reg.Counter(fmt.Sprintf("router.backend.%d.to_down", i)),
+		}
+		r.backends = append(r.backends, b)
+		r.wg.Add(1)
+		go b.prober()
+	}
+	return r, nil
+}
+
+func (r *Router) logf(format string, args ...any) {
+	if r.opts.Logf != nil {
+		r.opts.Logf(format, args...)
+	}
+}
+
+// Directory returns the router's placement directory (read-only).
+func (r *Router) Directory() *Directory { return r.dir }
+
+// Serve accepts and proxies sessions from l until the listener or the
+// router closes.
+func (r *Router) Serve(l net.Listener) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return errors.New("aserver: router closed")
+	}
+	r.listeners = append(r.listeners, l)
+	r.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			select {
+			case <-r.done:
+				return nil
+			default:
+				return err
+			}
+		}
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			r.handleConn(conn)
+		}()
+	}
+}
+
+// Listen starts serving on the given network address in the background.
+func (r *Router) Listen(network, addr string) (net.Listener, error) {
+	l, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	go r.Serve(l) //nolint:errcheck — ends when the listener closes
+	return l, nil
+}
+
+// DialPipe returns an in-process client connection to the router.
+func (r *Router) DialPipe() net.Conn {
+	cc, sc := net.Pipe()
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.handleConn(sc)
+	}()
+	return cc
+}
+
+// Close shuts the router down: listeners close, live sessions tear, the
+// probers exit. Blocks until every goroutine has finished.
+func (r *Router) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	ls := r.listeners
+	var live []*rsession
+	for s := range r.sessions {
+		live = append(live, s)
+	}
+	r.mu.Unlock()
+	close(r.done)
+	for _, l := range ls {
+		l.Close()
+	}
+	for _, s := range live {
+		s.teardown()
+	}
+	r.wg.Wait()
+}
+
+// routerSetupDeadline bounds the unproxied prefix of a connection: the
+// client's setup request and the backend handshake.
+const routerSetupDeadline = 30 * time.Second
+
+// proxyBufBytes is the splice buffer size; two per session, pooled.
+const proxyBufBytes = 32 << 10
+
+var proxyBufPool = sync.Pool{
+	New: func() any { b := make([]byte, proxyBufBytes); return &b },
+}
+
+// refuse sends a failed setup reply to the client; best-effort.
+func refuse(conn net.Conn, order binary.ByteOrder, reason string) {
+	rep := proto.SetupReply{
+		Success: false,
+		Reason:  reason,
+		Major:   proto.ProtocolMajor,
+		Minor:   proto.ProtocolMinor,
+	}
+	rep.Send(conn, order) //nolint:errcheck — the client is being turned away
+}
+
+// handleConn performs the routed handshake, then splices.
+func (r *Router) handleConn(conn net.Conn) {
+	conn.SetDeadline(time.Now().Add(routerSetupDeadline)) //nolint:errcheck
+	setup, order, err := proto.ReadSetupRequest(conn)
+	if err != nil {
+		r.rm.routeErrors.Inc()
+		conn.Close()
+		return
+	}
+	key := ""
+	if setup.AuthName == proto.RouteAuthName {
+		key = string(setup.AuthData)
+	}
+	if key == "" {
+		// No routing key: spread by client address. Reconnects of the
+		// same client may land elsewhere, which is fine — every backend
+		// serves the session equally when the client didn't pin a key.
+		key = conn.RemoteAddr().String()
+	}
+
+	backend, bc := r.dialFor(key)
+	if backend == nil {
+		r.rm.routeErrors.Inc()
+		refuse(conn, order, "no live backend for route")
+		conn.Close()
+		return
+	}
+
+	// Forward the client's setup verbatim (the backend ignores the route
+	// auth fields) and relay the backend's reply as raw bytes, so the
+	// handshake a routed client sees is byte-identical to a direct one.
+	bc.SetDeadline(time.Now().Add(routerSetupDeadline)) //nolint:errcheck
+	if err := setup.Send(bc); err != nil {
+		r.rm.routeErrors.Inc()
+		refuse(conn, order, "backend handshake failed")
+		conn.Close()
+		bc.Close()
+		return
+	}
+	ok, err := spliceSetupReply(bc, conn, order)
+	if err != nil || !ok {
+		r.rm.routeErrors.Inc()
+		conn.Close()
+		bc.Close()
+		return
+	}
+	conn.SetDeadline(time.Time{}) //nolint:errcheck
+	bc.SetDeadline(time.Time{})   //nolint:errcheck
+
+	s := &rsession{
+		r:       r,
+		b:       backend,
+		key:     key,
+		client:  conn,
+		backend: bc,
+		order:   order,
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		conn.Close()
+		bc.Close()
+		return
+	}
+	r.sessions[s] = struct{}{}
+	r.mu.Unlock()
+
+	r.rm.routes.Inc()
+	r.rm.sessionsActive.Add(1)
+	backend.sessions.Add(1)
+
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		s.pumpClientToBackend()
+	}()
+	s.pumpBackendToClient()
+}
+
+// dialFor resolves key through the directory and dials the chosen
+// backend, walking the failover chain on dial errors so a freshly dead
+// (not yet probed) backend doesn't refuse the session.
+func (r *Router) dialFor(key string) (*routerBackend, net.Conn) {
+	tried := make(map[int]bool)
+	for range r.backends {
+		idx := r.dir.LookupLive(key, func(i int) bool {
+			return !tried[i] && r.backends[i].getState() != backendDown
+		})
+		if idx < 0 {
+			return nil, nil
+		}
+		tried[idx] = true
+		b := r.backends[idx]
+		c, err := net.DialTimeout(b.network, b.addr, r.opts.DialTimeout)
+		if err == nil {
+			if tc, ok := c.(*net.TCPConn); ok {
+				tc.SetNoDelay(true) //nolint:errcheck
+			}
+			return b, c
+		}
+		b.dialErrors.Inc()
+		b.noteFailure()
+		r.logf("arouter: dial %s (%s): %v", b.name, b.addr, err)
+	}
+	return nil, nil
+}
+
+// spliceSetupReply forwards the backend's setup reply to the client as
+// raw bytes, parsing only the 8-byte header for the length and success
+// flag.
+func spliceSetupReply(from io.Reader, to io.Writer, order binary.ByteOrder) (ok bool, err error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(from, hdr[:]); err != nil {
+		return false, err
+	}
+	extra := make([]byte, int(order.Uint16(hdr[6:]))*4)
+	if _, err := io.ReadFull(from, extra); err != nil {
+		return false, err
+	}
+	if _, err := to.Write(hdr[:]); err != nil {
+		return false, err
+	}
+	if _, err := to.Write(extra); err != nil {
+		return false, err
+	}
+	return hdr[0] == 1, nil
+}
+
+// rsession is one proxied session: a client conn, a backend conn, and
+// two pump goroutines splicing between them.
+type rsession struct {
+	r       *Router
+	b       *routerBackend
+	key     string
+	client  net.Conn
+	backend net.Conn
+	order   binary.ByteOrder
+
+	// classified flips once, in the pump that loses the session; the
+	// winner increments exactly one close-classification counter and
+	// releases the session's gauges.
+	classified atomic.Bool
+}
+
+func (s *rsession) teardown() {
+	s.client.Close()
+	s.backend.Close()
+}
+
+// finish runs once (guarded by the classified CAS in the callers):
+// close both sides, release the gauges, unregister.
+func (s *rsession) finish() {
+	s.teardown()
+	s.r.rm.sessionsActive.Add(-1)
+	s.b.sessions.Add(-1)
+	s.r.mu.Lock()
+	delete(s.r.sessions, s)
+	s.r.mu.Unlock()
+}
+
+// pumpClientToBackend splices client bytes to the backend.
+func (s *rsession) pumpClientToBackend() {
+	bp := proxyBufPool.Get().(*[]byte)
+	defer proxyBufPool.Put(bp)
+	buf := *bp
+	for {
+		n, rerr := s.client.Read(buf)
+		if n > 0 {
+			if _, werr := s.backend.Write(buf[:n]); werr != nil {
+				s.backendFailed(false)
+				return
+			}
+			s.r.rm.bytesC2B.Add(uint64(n))
+		}
+		if rerr != nil {
+			s.clientGone()
+			return
+		}
+	}
+}
+
+// pumpBackendToClient splices backend bytes to the client under a
+// rolling write deadline, so a client that stops reading loses its
+// session instead of pinning the pump.
+func (s *rsession) pumpBackendToClient() {
+	bp := proxyBufPool.Get().(*[]byte)
+	defer proxyBufPool.Put(bp)
+	buf := *bp
+	stall := s.r.opts.ClientWriteStall
+	for {
+		n, rerr := s.backend.Read(buf)
+		if n > 0 {
+			s.client.SetWriteDeadline(time.Now().Add(stall)) //nolint:errcheck
+			if _, werr := s.client.Write(buf[:n]); werr != nil {
+				s.clientGone()
+				return
+			}
+			s.r.rm.bytesB2C.Add(uint64(n))
+		}
+		if rerr != nil {
+			s.backendFailed(true)
+			return
+		}
+	}
+}
+
+// clientGone classifies the session as closed by the client side (the
+// client hung up, or stopped reading past the stall deadline).
+func (s *rsession) clientGone() {
+	if !s.classified.CompareAndSwap(false, true) {
+		s.teardown()
+		return
+	}
+	s.r.rm.closedClient.Inc()
+	s.finish()
+}
+
+// backendFailed handles a backend-side error: decide deliberate close vs
+// backend death (one confirm probe), and on death start a failover.
+// ownsClientWrites is true when called from the backend→client pump,
+// the only goroutine allowed to write the redirect goodbye without
+// racing proxied payload bytes.
+func (s *rsession) backendFailed(ownsClientWrites bool) {
+	if !s.classified.CompareAndSwap(false, true) {
+		s.teardown()
+		return
+	}
+	if s.r.confirmBackend(s.b) {
+		// The backend is answering probes: it closed this session on
+		// purpose (eviction, drain) and its goodbye — if any — has
+		// already been spliced through. Not a failover.
+		s.r.rm.closedBackend.Inc()
+		s.finish()
+		return
+	}
+	// Backend death. Increment started before the outcome counter, and
+	// resolve the outcome before finish, so started >= completed +
+	// abandoned live and == after drain.
+	s.r.rm.failoversStarted.Inc()
+	standby := s.r.dir.LookupLive(s.key, func(i int) bool {
+		return i != s.b.index && s.r.backends[i].getState() != backendDown
+	})
+	if standby >= 0 {
+		if ownsClientWrites {
+			s.sendRedirect()
+		}
+		s.r.rm.failoversCompleted.Inc()
+		s.r.logf("arouter: failover %q: %s -> %s", s.key, s.b.name, s.r.backends[standby].name)
+	} else {
+		s.r.rm.failoversAbandoned.Inc()
+		s.r.logf("arouter: failover %q abandoned: no live standby for %s", s.key, s.b.name)
+	}
+	s.finish()
+}
+
+// redirectGoodbyeTimeout bounds the redirect goodbye write, as the
+// server's eviction goodbyeTimeout bounds its own.
+const redirectGoodbyeTimeout = 250 * time.Millisecond
+
+// sendRedirect writes the typed ErrRedirect goodbye that tells a
+// redirect-aware client to redial and be re-placed. Best-effort: if the
+// backend died mid-message the client's parser is already desynchronized
+// and will reconnect off the transport error instead.
+func (s *rsession) sendRedirect() {
+	w := proto.Writer{Order: s.order}
+	(&proto.ErrorMsg{Code: proto.ErrRedirect}).Encode(&w)
+	s.client.SetWriteDeadline(time.Now().Add(redirectGoodbyeTimeout)) //nolint:errcheck
+	s.client.Write(w.Buf)                                             //nolint:errcheck
+}
+
+// getState reads the backend's health state.
+func (b *routerBackend) getState() int32 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// setStateLocked transitions the state machine and counts it. b.mu held.
+func (b *routerBackend) setStateLocked(next int32) {
+	if b.state == next {
+		return
+	}
+	b.state = next
+	b.stateGauge.Set(int64(next))
+	switch next {
+	case backendHealthy:
+		b.toHealthy.Inc()
+	case backendSuspect:
+		b.toSuspect.Inc()
+	case backendDown:
+		b.toDown.Inc()
+	}
+	b.r.logf("arouter: backend %s -> %s", b.name, stateName(next))
+}
+
+// noteSuccess records an answering backend: consecutive failures reset
+// and any non-healthy state snaps back to healthy.
+func (b *routerBackend) noteSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecFails = 0
+	b.setStateLocked(backendHealthy)
+}
+
+// noteFailure records one failed probe or dial: healthy→suspect on the
+// first, suspect→down at FailThreshold consecutive.
+func (b *routerBackend) noteFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consecFails++
+	if b.state == backendHealthy {
+		b.setStateLocked(backendSuspect)
+	}
+	if b.consecFails >= b.r.opts.FailThreshold {
+		b.setStateLocked(backendDown)
+	}
+}
+
+// forceDown is the data-path verdict: a confirm probe just failed, so
+// skip the remaining threshold — sessions are dying now.
+func (b *routerBackend) forceDown() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.consecFails < b.r.opts.FailThreshold {
+		b.consecFails = b.r.opts.FailThreshold
+	}
+	b.setStateLocked(backendDown)
+}
+
+// prober is the backend's detect loop: one AF session, one GetTime round
+// trip per ProbeInterval.
+func (b *routerBackend) prober() {
+	defer b.r.wg.Done()
+	defer func() {
+		if b.probeConn != nil {
+			b.probeConn.Close()
+		}
+	}()
+	t := time.NewTicker(b.r.opts.ProbeInterval)
+	defer t.Stop()
+	// One immediate probe so a backend that is dead at startup is
+	// discovered within ProbeTimeout, not ProbeInterval.
+	for {
+		b.probes.Inc()
+		if err := b.probeOnce(); err != nil {
+			b.probeFails.Inc()
+			b.noteFailure()
+		} else {
+			b.noteSuccess()
+		}
+		select {
+		case <-b.r.done:
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// probeOnce round-trips one GetTime on the prober's persistent session,
+// re-handshaking when the session is fresh or the last probe failed.
+func (b *routerBackend) probeOnce() error {
+	deadline := time.Now().Add(b.r.opts.ProbeTimeout)
+	if b.probeConn == nil {
+		c, br, err := dialProbe(b.network, b.addr, deadline)
+		if err != nil {
+			return err
+		}
+		b.probeConn, b.probeBR, b.probeSeq = c, br, 0
+	}
+	b.probeConn.SetDeadline(deadline) //nolint:errcheck
+	b.probeSeq++
+	err := probeGetTime(b.probeConn, b.probeBR, b.probeSeq)
+	if err != nil {
+		b.probeConn.Close()
+		b.probeConn, b.probeBR = nil, nil
+		return err
+	}
+	b.probeConn.SetDeadline(time.Time{}) //nolint:errcheck
+	return nil
+}
+
+// dialProbe opens and handshakes a probe session.
+func dialProbe(network, addr string, deadline time.Time) (net.Conn, *bufio.Reader, error) {
+	c, err := net.DialTimeout(network, addr, time.Until(deadline))
+	if err != nil {
+		return nil, nil, err
+	}
+	c.SetDeadline(deadline) //nolint:errcheck
+	setup := proto.SetupRequest{
+		ByteOrder: proto.LittleEndianOrder,
+		Major:     proto.ProtocolMajor,
+		Minor:     proto.ProtocolMinor,
+	}
+	if err := setup.Send(c); err != nil {
+		c.Close()
+		return nil, nil, err
+	}
+	br := bufio.NewReaderSize(c, 4096)
+	rep, err := proto.ReadSetupReply(br, binary.LittleEndian)
+	if err != nil {
+		c.Close()
+		return nil, nil, err
+	}
+	if !rep.Success {
+		// A refusing backend (draining, full) is alive but not placeable;
+		// treat it as probe failure so the directory routes around it.
+		c.Close()
+		return nil, nil, fmt.Errorf("backend refused setup: %s", rep.Reason)
+	}
+	return c, br, nil
+}
+
+// probeGetTime sends GetTime(device 0) with sequence seq and reads
+// messages until the matching answer. Any answer — reply or protocol
+// error — proves the backend is dispatching requests.
+func probeGetTime(c net.Conn, br *bufio.Reader, seq uint16) error {
+	w := proto.Writer{Order: binary.LittleEndian}
+	if err := proto.AppendDeviceReq(&w, proto.OpGetTime, 0); err != nil {
+		return err
+	}
+	if _, err := c.Write(w.Buf); err != nil {
+		return err
+	}
+	var msg proto.Message
+	for {
+		if err := proto.ReadMessageInto(br, binary.LittleEndian, &msg); err != nil {
+			return err
+		}
+		if msg.Reply != nil && msg.Reply.Seq == seq {
+			return nil
+		}
+		if msg.Error != nil && msg.Error.Seq == seq && !proto.IsGoodbye(msg.Error.Code) {
+			return nil
+		}
+	}
+}
+
+// confirmBackend is the decide step for a backend-side session error:
+// one synchronous probe on a fresh connection. An already-down backend
+// is not re-probed; a failing probe forces the backend down so the
+// directory and every other dying session see the verdict immediately.
+func (r *Router) confirmBackend(b *routerBackend) bool {
+	if b.getState() == backendDown {
+		return false
+	}
+	deadline := time.Now().Add(r.opts.ProbeTimeout)
+	b.probes.Inc()
+	c, br, err := dialProbe(b.network, b.addr, deadline)
+	if err == nil {
+		err = probeGetTime(c, br, 1)
+		c.Close()
+	}
+	if err != nil {
+		b.probeFails.Inc()
+		b.forceDown()
+		return false
+	}
+	b.noteSuccess()
+	return true
+}
+
+// RouterBackendStats is one backend's health and traffic in a snapshot.
+type RouterBackendStats struct {
+	Name          string `json:"name"`
+	Addr          string `json:"addr"`
+	State         string `json:"state"`
+	Sessions      int64  `json:"sessions"`
+	Probes        uint64 `json:"probes"`
+	ProbeFailures uint64 `json:"probe_failures"`
+	DialErrors    uint64 `json:"dial_errors"`
+	ToHealthy     uint64 `json:"to_healthy"`
+	ToSuspect     uint64 `json:"to_suspect"`
+	ToDown        uint64 `json:"to_down"`
+}
+
+// RouterSnapshot is a consistent-enough view of the router's counters
+// for invariant checks: outcome counters are read before their
+// antecedents, so in every snapshot
+//
+//	FailoversStarted >= FailoversCompleted + FailoversAbandoned
+//	Routes >= ClosedClient + ClosedBackend + FailoversStarted
+//
+// with exact equality once SessionsActive is 0 and no setup is in
+// flight.
+type RouterSnapshot struct {
+	Routes         uint64 `json:"routes"`
+	RouteErrors    uint64 `json:"route_errors"`
+	SessionsActive int64  `json:"sessions_active"`
+
+	ProxiedBytesC2B uint64 `json:"proxied_bytes_c2b"`
+	ProxiedBytesB2C uint64 `json:"proxied_bytes_b2c"`
+
+	ClosedClient       uint64 `json:"closed_client"`
+	ClosedBackend      uint64 `json:"closed_backend"`
+	FailoversStarted   uint64 `json:"failovers_started"`
+	FailoversCompleted uint64 `json:"failovers_completed"`
+	FailoversAbandoned uint64 `json:"failovers_abandoned"`
+
+	Backends []RouterBackendStats `json:"backends"`
+}
+
+// Snapshot copies the router's counters. Read ordering gives the
+// one-sided live laws documented on RouterSnapshot.
+func (r *Router) Snapshot() RouterSnapshot {
+	var s RouterSnapshot
+	// Outcomes before antecedents: completed/abandoned before started,
+	// all close classifications before routes.
+	s.FailoversCompleted = r.rm.failoversCompleted.Load()
+	s.FailoversAbandoned = r.rm.failoversAbandoned.Load()
+	s.ClosedClient = r.rm.closedClient.Load()
+	s.ClosedBackend = r.rm.closedBackend.Load()
+	s.FailoversStarted = r.rm.failoversStarted.Load()
+	s.SessionsActive = r.rm.sessionsActive.Load()
+	s.Routes = r.rm.routes.Load()
+	s.RouteErrors = r.rm.routeErrors.Load()
+	s.ProxiedBytesC2B = r.rm.bytesC2B.Load()
+	s.ProxiedBytesB2C = r.rm.bytesB2C.Load()
+	for _, b := range r.backends {
+		b.mu.Lock()
+		state := b.state
+		b.mu.Unlock()
+		s.Backends = append(s.Backends, RouterBackendStats{
+			Name:          b.name,
+			Addr:          b.addr,
+			State:         stateName(state),
+			Sessions:      b.sessions.Load(),
+			Probes:        b.probes.Load(),
+			ProbeFailures: b.probeFails.Load(),
+			DialErrors:    b.dialErrors.Load(),
+			ToHealthy:     b.toHealthy.Load(),
+			ToSuspect:     b.toSuspect.Load(),
+			ToDown:        b.toDown.Load(),
+		})
+	}
+	return s
+}
+
+// StatsHandler mirrors Server.StatsHandler for the router:
+//
+//	/stats       the RouterSnapshot as JSON (astat -router consumes it)
+//	/debug/vars  the flat expvar view of the registry
+func (r *Router) StatsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot()) //nolint:errcheck — client went away mid-scrape
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		r.reg.WriteExpvar(w) //nolint:errcheck
+	})
+	return mux
+}
+
+// ListenStats serves the router stats endpoints on addr in the
+// background (the arouter -stats flag).
+func (r *Router) ListenStats(addr string) (net.Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		srv := &http.Server{Handler: r.StatsHandler()}
+		srv.Serve(l) //nolint:errcheck — ends when the listener closes
+	}()
+	return l, nil
+}

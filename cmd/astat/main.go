@@ -2,6 +2,12 @@
 // renders a live one-line-per-device summary, in the spirit of vmstat:
 //
 //	astat [-a host:port] [-i interval] [-n count] [-once] [-top N] [-agg]
+//	astat -router [-a host:port] ...     poll an arouter instead
+//
+// With -router the address is an arouter's -stats endpoint: each tick
+// prints the fleet view (session routes, proxied byte rates, failover
+// counters, per-backend health) and the router's conservation laws are
+// checked instead of the device-frame laws.
 //
 // Each tick prints one line per device with the deltas since the last
 // scrape (bytes and frames per interval, underruns, parks) plus the
@@ -34,11 +40,17 @@ var (
 	once     = flag.Bool("once", false, "print one absolute snapshot and exit")
 	top      = flag.Int("top", 0, "show only the N busiest devices per tick, by byte rate (0 = all)")
 	agg      = flag.Bool("agg", false, "aggregate only: one server-wide line per tick, no per-device rows")
+	routerMd = flag.Bool("router", false, "the address is an arouter -stats endpoint: show fleet routing stats")
 )
 
 func main() {
 	flag.Parse()
 	url := "http://" + *addr + "/stats"
+
+	if *routerMd {
+		routerMain(url)
+		return
+	}
 
 	prev, err := scrape(url)
 	if err != nil {
@@ -338,6 +350,119 @@ func conservation(s aserver.Snapshot) string {
 					d.Index, ls.ResyncsStarted, ls.ResyncsCompleted, ls.ResyncsAbandoned)
 			}
 		}
+	}
+	return ""
+}
+
+// routerMain is the -router mode: poll an arouter's RouterSnapshot.
+func routerMain(url string) {
+	prev, err := scrapeRouter(url)
+	if err != nil {
+		cmdutil.Die("astat: %v", err)
+	}
+	if *once {
+		printRouterAbsolute(prev)
+		return
+	}
+	routerHeader()
+	for tick := 0; *count == 0 || tick < *count; tick++ {
+		time.Sleep(*interval)
+		cur, err := scrapeRouter(url)
+		if err != nil {
+			cmdutil.Die("astat: %v", err)
+		}
+		if tick%20 == 0 && tick > 0 {
+			routerHeader()
+		}
+		printRouterDelta(prev, cur, *interval)
+		prev = cur
+	}
+}
+
+// scrapeRouter fetches and decodes one router snapshot.
+func scrapeRouter(url string) (aserver.RouterSnapshot, error) {
+	var snap aserver.RouterSnapshot
+	client := http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	return snap, err
+}
+
+func routerHeader() {
+	fmt.Printf("%8s %8s %10s %10s %7s %9s %6s %s\n",
+		"sessions", "routes/s", "c2b-B/s", "b2c-B/s", "fails", "failovers", "errs", "backends")
+}
+
+// printRouterDelta renders one interval of router counters plus the
+// backend health roster.
+func printRouterDelta(prev, cur aserver.RouterSnapshot, dt time.Duration) {
+	secs := dt.Seconds()
+	if secs <= 0 {
+		secs = 1
+	}
+	roster := ""
+	for i, b := range cur.Backends {
+		if i > 0 {
+			roster += " "
+		}
+		marker := ""
+		if i < len(prev.Backends) && b.ProbeFailures > prev.Backends[i].ProbeFailures {
+			marker = "!"
+		}
+		roster += fmt.Sprintf("%s=%s%s(%d)", b.Name, b.State, marker, b.Sessions)
+	}
+	fmt.Printf("%8d %8.1f %10.0f %10.0f %7d %9d %6d %s\n",
+		cur.SessionsActive,
+		float64(cur.Routes-prev.Routes)/secs,
+		float64(cur.ProxiedBytesC2B-prev.ProxiedBytesC2B)/secs,
+		float64(cur.ProxiedBytesB2C-prev.ProxiedBytesB2C)/secs,
+		cur.FailoversStarted-prev.FailoversStarted,
+		cur.FailoversCompleted-prev.FailoversCompleted,
+		cur.RouteErrors-prev.RouteErrors,
+		roster)
+	if werr := routerConservation(cur); werr != "" {
+		fmt.Fprintf(os.Stderr, "astat: WARNING: %s\n", werr)
+	}
+}
+
+// printRouterAbsolute renders one cumulative router snapshot.
+func printRouterAbsolute(s aserver.RouterSnapshot) {
+	fmt.Printf("routes %d  active %d  route-errors %d  proxied c2b %dB b2c %dB\n",
+		s.Routes, s.SessionsActive, s.RouteErrors, s.ProxiedBytesC2B, s.ProxiedBytesB2C)
+	fmt.Printf("closed: client %d  backend %d  failovers: started %d  completed %d  abandoned %d\n",
+		s.ClosedClient, s.ClosedBackend,
+		s.FailoversStarted, s.FailoversCompleted, s.FailoversAbandoned)
+	fmt.Printf("%-24s %-8s %8s %8s %8s %6s %6s %6s %6s\n",
+		"backend", "state", "sessions", "probes", "fails", "dial", "→heal", "→susp", "→down")
+	for _, b := range s.Backends {
+		fmt.Printf("%-24s %-8s %8d %8d %8d %6d %6d %6d %6d\n",
+			b.Name, b.State, b.Sessions, b.Probes, b.ProbeFailures,
+			b.DialErrors, b.ToHealthy, b.ToSuspect, b.ToDown)
+	}
+	if werr := routerConservation(s); werr != "" {
+		fmt.Fprintf(os.Stderr, "astat: WARNING: %s\n", werr)
+	}
+}
+
+// routerConservation checks the router's accounting laws. Snapshots read
+// outcome counters before antecedents, so the one-sided forms hold in
+// every live snapshot (exact once the router is drained); a violation
+// means the router's bookkeeping is broken.
+func routerConservation(s aserver.RouterSnapshot) string {
+	if sum := s.FailoversCompleted + s.FailoversAbandoned; s.FailoversStarted < sum {
+		return fmt.Sprintf("failovers started %d < completed %d + abandoned %d",
+			s.FailoversStarted, s.FailoversCompleted, s.FailoversAbandoned)
+	}
+	if sum := s.ClosedClient + s.ClosedBackend + s.FailoversStarted; s.Routes < sum {
+		return fmt.Sprintf("routes %d < closed-client %d + closed-backend %d + failovers-started %d",
+			s.Routes, s.ClosedClient, s.ClosedBackend, s.FailoversStarted)
 	}
 	return ""
 }

@@ -1,0 +1,178 @@
+// BenchmarkRouterProxy prices the fleet router's splice: the same raw
+// wire round trips against an afd directly and through the router. The
+// proxied hot path is a pure byte splice through pooled buffers, so both
+// modes must report 0 allocs/op (gated in CI), and the routed round trip
+// should stay within ~2x of direct — the router adds two socket hops and
+// nothing else.
+package audiofile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+
+	"audiofile/aserver"
+	"audiofile/internal/proto"
+	"audiofile/internal/vdev"
+)
+
+// benchRouterConn dials the backend directly or through a router and
+// completes the AF handshake, returning the raw wire.
+func benchRouterConn(b *testing.B, routed bool) (net.Conn, *bufio.Reader) {
+	b.Helper()
+	clk := vdev.NewManualClock(8000)
+	srv, err := aserver.New(aserver.Options{
+		Devices: []aserver.DeviceSpec{{Kind: "codec", Name: "codec0", Clock: clk}},
+		Logf:    func(string, ...any) {},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(srv.Close)
+	bl, err := srv.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { bl.Close() })
+	target := bl.Addr().String()
+	if routed {
+		router, err := aserver.NewRouter(aserver.RouterOptions{
+			Backends:      []string{target},
+			ProbeInterval: 100 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(router.Close)
+		rl, err := router.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		target = rl.Addr().String()
+	}
+	nc, err := net.Dial("tcp", target)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { nc.Close() })
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) //nolint:errcheck
+	}
+	setup := proto.SetupRequest{
+		ByteOrder: proto.LittleEndianOrder,
+		Major:     proto.ProtocolMajor,
+		Minor:     proto.ProtocolMinor,
+	}
+	if err := setup.Send(nc); err != nil {
+		b.Fatal(err)
+	}
+	br := bufio.NewReaderSize(nc, 64<<10)
+	rep, err := proto.ReadSetupReply(br, binary.LittleEndian)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !rep.Success {
+		b.Fatalf("setup refused: %s", rep.Reason)
+	}
+	return nc, br
+}
+
+// awaitReply reads messages until a reply with the given sequence.
+func benchAwaitReply(b *testing.B, br *bufio.Reader, msg *proto.Message, seq uint16) {
+	for {
+		if err := proto.ReadMessageInto(br, binary.LittleEndian, msg); err != nil {
+			b.Fatal(err)
+		}
+		if msg.Reply != nil && msg.Reply.Seq == seq {
+			return
+		}
+		if msg.Error != nil && msg.Error.Seq == seq {
+			b.Fatalf("request failed: code %d", msg.Error.Code)
+		}
+	}
+}
+
+func BenchmarkRouterProxy(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		routed bool
+	}{
+		{"direct", false},
+		{"routed", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			// gettime: the minimal round trip — per-message proxy overhead.
+			b.Run("gettime", func(b *testing.B) {
+				nc, br := benchRouterConn(b, mode.routed)
+				var w proto.Writer
+				w.Order = binary.LittleEndian
+				if err := proto.AppendDeviceReq(&w, proto.OpGetTime, 0); err != nil {
+					b.Fatal(err)
+				}
+				req := w.Buf
+				var msg proto.Message
+				seq := uint16(0)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := nc.Write(req); err != nil {
+						b.Fatal(err)
+					}
+					seq++
+					benchAwaitReply(b, br, &msg, seq)
+				}
+			})
+			// play8k: one 8 KiB preemptive play chunk per round trip — the
+			// bulk splice path the proxied_bytes counters meter.
+			b.Run("play8k", func(b *testing.B) {
+				const size = 8 << 10
+				nc, br := benchRouterConn(b, mode.routed)
+				var w proto.Writer
+				w.Order = binary.LittleEndian
+				err := proto.AppendCreateAC(&w, proto.CreateACReq{
+					AC:     1,
+					Device: 0,
+					Mask:   proto.ACPreemption,
+					Attrs:  proto.ACAttributes{Preempt: 1},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := nc.Write(w.Buf); err != nil {
+					b.Fatal(err)
+				}
+				seq := uint16(1) // CreateAC consumed sequence 1
+				data := make([]byte, size)
+				for i := range data {
+					data[i] = byte(0x80 + i%64)
+				}
+				w.Reset()
+				// Half a second ahead on a frozen manual clock: always in
+				// the buffer window, never parked, rewritten every
+				// iteration by preemption.
+				err = proto.AppendPlaySamples(&w, proto.PlaySamplesReq{
+					AC:   1,
+					Time: 4000,
+					Data: data,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				req := w.Buf
+				var msg proto.Message
+				b.SetBytes(size)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := nc.Write(req); err != nil {
+						b.Fatal(err)
+					}
+					seq++
+					benchAwaitReply(b, br, &msg, seq)
+				}
+			})
+		})
+	}
+}
